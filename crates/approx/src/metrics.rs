@@ -1,0 +1,119 @@
+use std::fmt;
+
+use crate::mult::ApproxMultiplier;
+
+/// Exhaustively measured error metrics of an approximate multiplier, in
+/// the conventions of the EvoApprox library used by the paper's Table II:
+/// MRE is the mean of `|err| / exact` over pairs with nonzero exact
+/// product; MAE is the mean of `|err|` over all pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorMetrics {
+    /// Mean relative error, percent.
+    pub mre_percent: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Worst-case absolute error.
+    pub worst_abs: u32,
+    /// Fraction of input pairs with any error, percent.
+    pub error_rate_percent: f64,
+}
+
+impl ErrorMetrics {
+    /// Characterizes a multiplier over all 256×256 input pairs.
+    #[must_use]
+    pub fn characterize(m: ApproxMultiplier) -> Self {
+        let mut rel_sum = 0.0f64;
+        let mut rel_n = 0u64;
+        let mut abs_sum = 0u64;
+        let mut worst = 0u32;
+        let mut wrong = 0u64;
+        for a in 0..=255u32 {
+            for b in 0..=255u32 {
+                let exact = a * b;
+                let got = u32::from(m.multiply(a as u8, b as u8));
+                let err = exact.abs_diff(got);
+                abs_sum += u64::from(err);
+                worst = worst.max(err);
+                if err != 0 {
+                    wrong += 1;
+                }
+                if exact != 0 {
+                    rel_sum += f64::from(err) / f64::from(exact);
+                    rel_n += 1;
+                }
+            }
+        }
+        Self {
+            mre_percent: 100.0 * rel_sum / rel_n as f64,
+            mae: abs_sum as f64 / 65536.0,
+            worst_abs: worst,
+            error_rate_percent: 100.0 * wrong as f64 / 65536.0,
+        }
+    }
+}
+
+impl fmt::Display for ErrorMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MRE {:.2} % | MAE {:.1} | worst {} | ER {:.1} %",
+            self.mre_percent, self.mae, self.worst_abs, self.error_rate_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiplier_has_zero_error() {
+        let m = ErrorMetrics::characterize(ApproxMultiplier::Exact);
+        assert_eq!(m.mre_percent, 0.0);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.worst_abs, 0);
+        assert_eq!(m.error_rate_percent, 0.0);
+    }
+
+    #[test]
+    fn drop_lsb_matches_hand_computation() {
+        // Error of 1 exactly when both operands odd: 128*128/65536 = 25 %.
+        let m = ErrorMetrics::characterize(ApproxMultiplier::DropLsb);
+        assert_eq!(m.worst_abs, 1);
+        assert!((m.error_rate_percent - 25.0).abs() < 1e-9);
+        assert!((m.mae - 0.25).abs() < 1e-9);
+        assert!(m.mre_percent < 0.2, "tiny MRE like Table II's first row");
+    }
+
+    #[test]
+    fn ladder_spans_the_table2_mre_range() {
+        let mres: Vec<f64> = ApproxMultiplier::LADDER
+            .iter()
+            .map(|&m| ErrorMetrics::characterize(m).mre_percent)
+            .collect();
+        let lo = mres.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mres.iter().cloned().fold(0.0, f64::max);
+        assert!(lo < 0.5, "ladder starts near-exact: {lo}");
+        assert!(hi > 10.0, "ladder ends deeply approximate: {hi}");
+    }
+
+    #[test]
+    fn mitchell_mre_matches_the_literature() {
+        // Mitchell's log multiplier is classically ~3.8 % MRE on uniform
+        // inputs.
+        let m = ErrorMetrics::characterize(ApproxMultiplier::Mitchell);
+        assert!(
+            (2.0..6.0).contains(&m.mre_percent),
+            "Mitchell MRE {:.2}",
+            m.mre_percent
+        );
+    }
+
+    #[test]
+    fn drum_error_grows_as_kept_bits_shrink() {
+        let d5 = ErrorMetrics::characterize(ApproxMultiplier::Drum5).mre_percent;
+        let d4 = ErrorMetrics::characterize(ApproxMultiplier::Drum4).mre_percent;
+        let d3 = ErrorMetrics::characterize(ApproxMultiplier::Drum3).mre_percent;
+        assert!(d5 < d4 && d4 < d3, "{d5} < {d4} < {d3}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the approximate multiplier ladder.
+
+use nga_approx::{ApproxMultiplier, ErrorMetrics};
+use proptest::prelude::*;
+
+fn arb_mult() -> impl Strategy<Value = ApproxMultiplier> {
+    prop::sample::select(ApproxMultiplier::LADDER.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn results_fit_sixteen_bits(m in arb_mult(), a: u8, b: u8) {
+        // u16 return type already guarantees this; the property checks the
+        // value is also plausible: within the worst absolute error of the
+        // exact product.
+        let exact = u32::from(a) * u32::from(b);
+        let got = u32::from(m.multiply(a, b));
+        let metrics = ErrorMetrics::characterize(m);
+        prop_assert!(exact.abs_diff(got) <= metrics.worst_abs,
+            "{m}: {a}*{b} err {} > worst {}", exact.abs_diff(got), metrics.worst_abs);
+    }
+
+    #[test]
+    fn zero_annihilates(m in arb_mult(), a: u8) {
+        prop_assert_eq!(m.multiply(0, a), 0);
+        prop_assert_eq!(m.multiply(a, 0), 0);
+    }
+
+    #[test]
+    fn error_scales_with_magnitude_not_unbounded(m in arb_mult(), a in 1u8..16, b in 1u8..16) {
+        // Small operands produce small absolute errors for every design in
+        // the ladder (they all preserve low-magnitude structure except the
+        // deep truncations, whose error is bounded by the cut weight).
+        let exact = u32::from(a) * u32::from(b);
+        let got = u32::from(m.multiply(a, b));
+        prop_assert!(exact.abs_diff(got) <= 512, "{m}: {a}*{b}");
+    }
+
+    #[test]
+    fn large_products_keep_their_leading_magnitude(m in arb_mult(), k in 4u32..8) {
+        // For products well above every design's truncation floor, all
+        // ladder members keep at least half the magnitude and never more
+        // than 1.25x (powers of two are the friendliest inputs for
+        // log/DRUM designs; deep truncations lose only low columns).
+        let b = 1u8 << k;
+        let got = u32::from(m.multiply(255, b));
+        let exact = 255u32 << k;
+        prop_assert!(got as f64 >= exact as f64 * 0.5, "{m}: 255*{b} = {got}");
+        prop_assert!(got as f64 <= exact as f64 * 1.25, "{m}: 255*{b} = {got}");
+    }
+}
+
+#[test]
+fn characterization_is_cached_consistent() {
+    // Characterize twice: identical (determinism at the metrics level).
+    for m in ApproxMultiplier::LADDER {
+        let a = ErrorMetrics::characterize(m);
+        let b = ErrorMetrics::characterize(m);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn exact_is_not_in_the_ladder() {
+    assert!(!ApproxMultiplier::LADDER.contains(&ApproxMultiplier::Exact));
+}

@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Posit decode, two's-complement vs sign-magnitude re-encode**: §V
+//!    warns that published comparisons "make the mistake" of negating
+//!    negative posits before decoding; this ablation measures the software
+//!    analogue of that extra work.
+//! 2. **Compressor selection**: Wallace 3:2 vs ALM-aware 6:3 on a tall
+//!    dot-product heap.
+//! 3. **Quire vs rounded accumulation** for a dot product.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_bitheap::{compress::compress, BitHeap, Netlist, Strategy};
+use nga_core::{Posit, PositFormat, Quire};
+
+/// Sign-magnitude decode path: negate first (a full two's-complement
+/// carry-propagate on the encoding), decode the positive twin, negate the
+/// significand back — the "familiar bit parcels" detour of §V.
+fn decode_sign_magnitude(bits: u64, fmt: PositFormat) -> f64 {
+    let neg = bits >> (fmt.n() - 1) == 1;
+    let mag = if neg {
+        bits.wrapping_neg() & fmt.bits_mask()
+    } else {
+        bits
+    };
+    let v = Posit::from_bits(mag, fmt).to_f64();
+    if neg {
+        -v
+    } else {
+        v
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let p16 = PositFormat::POSIT16;
+    let encodings: Vec<u64> = (1..1024u64).map(|i| (i * 63) & 0xFFFF).collect();
+
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("posit_decode/twos_complement_direct", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &e in &encodings {
+                acc += Posit::from_bits(black_box(e), p16).to_f64();
+            }
+            acc
+        })
+    });
+    g.bench_function("posit_decode/sign_magnitude_reencode", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &e in &encodings {
+                acc += decode_sign_magnitude(black_box(e), p16);
+            }
+            acc
+        })
+    });
+
+    for strategy in [Strategy::GreedyWallace, Strategy::AlmSixThree] {
+        g.bench_function(format!("compress_dot_product/{strategy:?}"), |b| {
+            b.iter(|| {
+                let mut net = Netlist::new();
+                let pairs: Vec<_> = (0..8)
+                    .map(|_| (net.add_inputs(6), net.add_inputs(6)))
+                    .collect();
+                let heap = BitHeap::dot_product(&mut net, &pairs);
+                compress(&mut net, &heap, strategy).stats.cost.alms
+            })
+        });
+    }
+
+    let values: Vec<Posit> = (0..128u64)
+        .map(|i| Posit::from_bits((i * 509) & 0x7FFF, p16))
+        .collect();
+    g.bench_function("dot_product/quire_exact", |b| {
+        b.iter(|| {
+            let mut q = Quire::new(p16);
+            for w in values.windows(2) {
+                q.add_product(black_box(w[0]), black_box(w[1]));
+            }
+            q.to_posit()
+        })
+    });
+    g.bench_function("dot_product/rounded_each_step", |b| {
+        b.iter(|| {
+            let mut acc = Posit::zero(p16);
+            for w in values.windows(2) {
+                acc = acc.add(black_box(w[0]).mul(black_box(w[1])));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for the approximate multiplier ladder: behavioural
+//! simulation throughput (what bounds ProxSim-style retraining).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_approx::ApproxMultiplier;
+
+fn bench_approx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx_mult");
+    for m in [
+        ApproxMultiplier::Exact,
+        ApproxMultiplier::DropLsb,
+        ApproxMultiplier::Mitchell,
+        ApproxMultiplier::Drum4,
+        ApproxMultiplier::Trunc8,
+    ] {
+        g.bench_function(format!("{}/64k_products", m.id()), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for a in 0..=255u8 {
+                    for bb in 0..=255u8 {
+                        acc = acc.wrapping_add(u32::from(m.multiply(black_box(a), black_box(bb))));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

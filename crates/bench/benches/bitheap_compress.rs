@@ -1,0 +1,31 @@
+//! Criterion benches for bit-heap compression: generator run time (the
+//! "reasonable run-time" constraint §II-C places on cost/error
+//! evaluation) across operator sizes and strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nga_bitheap::{compress::compress, BitHeap, Netlist, Strategy};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitheap_compress");
+    for (name, aw, bw) in [
+        ("8x8", 8usize, 8usize),
+        ("12x12", 12, 12),
+        ("16x16", 16, 16),
+    ] {
+        for strategy in [Strategy::GreedyWallace, Strategy::AlmSixThree] {
+            g.bench_function(format!("{name}/{strategy:?}"), |b| {
+                b.iter(|| {
+                    let mut net = Netlist::new();
+                    let a = net.add_inputs(aw);
+                    let bbus = net.add_inputs(bw);
+                    let heap = BitHeap::multiplier(&mut net, &a, &bbus);
+                    compress(&mut net, &heap, strategy).stats.cost.alms
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

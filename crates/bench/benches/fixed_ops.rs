@@ -1,0 +1,52 @@
+//! Criterion benches for the fixed-point substrate: the baseline §V calls
+//! "the simplest and fastest format".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_fixed::{Fixed, FixedFormat, OverflowMode, RoundingMode};
+
+fn bench_fixed(c: &mut Criterion) {
+    let fmt = FixedFormat::signed(8, 8).expect("valid");
+    let vals: Vec<Fixed> = (0..256i128)
+        .map(|i| Fixed::from_raw((i * 193) % 0x7FFF - 0x4000, fmt).expect("in range"))
+        .collect();
+
+    let mut g = c.benchmark_group("fixed_q8_8");
+    g.bench_function("mac_chain_exact", |b| {
+        b.iter(|| {
+            let mut acc = 0i128;
+            for w in vals.windows(2) {
+                acc += black_box(w[0])
+                    .mul_exact(&black_box(w[1]))
+                    .expect("fits")
+                    .raw();
+            }
+            acc
+        })
+    });
+    g.bench_function("saturating_add_chain", |b| {
+        b.iter(|| {
+            let mut acc = Fixed::zero(fmt);
+            for &v in &vals {
+                acc = acc.checked_add(black_box(v)).expect("same format");
+            }
+            acc
+        })
+    });
+    g.bench_function("requantize_nearest_even", |b| {
+        let narrow = FixedFormat::signed(8, 4).expect("valid");
+        b.iter(|| {
+            let mut acc = 0i128;
+            for &v in &vals {
+                acc ^= v
+                    .convert(narrow, RoundingMode::NearestEven, OverflowMode::Saturate)
+                    .expect("saturating")
+                    .raw();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

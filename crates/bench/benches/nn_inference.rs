@@ -1,0 +1,29 @@
+//! Criterion benches for the DNN substrate: float vs quantized-exact vs
+//! quantized-approximate inference throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_approx::ApproxMultiplier;
+use nga_nn::data::Dataset;
+use nga_nn::models::kws_mini;
+use nga_nn::quant::QuantizedNetwork;
+
+fn bench_inference(c: &mut Criterion) {
+    let data = Dataset::synth_speech(4, 4, 16, 8, 77);
+    let net = kws_mini(16, 8, 4, 5);
+    let calib: Vec<_> = (0..8).map(|i| data.sample(i % data.len()).0).collect();
+    let qnet = QuantizedNetwork::from_float(&net, &calib);
+    let (x, _) = data.sample(0);
+
+    let mut g = c.benchmark_group("nn_inference");
+    g.bench_function("float_forward", |b| b.iter(|| net.forward(black_box(&x))));
+    g.bench_function("quant_exact_forward", |b| {
+        b.iter(|| qnet.forward(black_box(&x), ApproxMultiplier::Exact))
+    });
+    g.bench_function("quant_mitchell_forward", |b| {
+        b.iter(|| qnet.forward(black_box(&x), ApproxMultiplier::Mitchell))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for the posit arithmetic core: software throughput
+//! of decode/encode, the four operations, quire accumulation, and
+//! comparison (which §V argues is just an integer compare).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_core::{Posit, PositFormat, Quire};
+
+fn bench_posit_ops(c: &mut Criterion) {
+    let p16 = PositFormat::POSIT16;
+    // A deterministic mix of operand magnitudes.
+    let values: Vec<Posit> = (0..256u64)
+        .map(|i| Posit::from_bits((i * 257) & 0xFFFF, p16))
+        .filter(|p| !p.is_nar())
+        .collect();
+
+    let mut g = c.benchmark_group("posit16");
+    g.bench_function("mul_add_chain", |b| {
+        b.iter(|| {
+            let mut acc = Posit::zero(p16);
+            for w in values.windows(2) {
+                acc = acc.add(black_box(w[0]).mul(black_box(w[1])));
+            }
+            acc
+        })
+    });
+    g.bench_function("div_chain", |b| {
+        b.iter(|| {
+            let mut acc = Posit::one(p16);
+            for &v in &values {
+                if !v.is_zero() {
+                    acc = acc.div(black_box(v));
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("sqrt_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &values {
+                acc ^= v.abs().sqrt().bits();
+            }
+            acc
+        })
+    });
+    g.bench_function("decode_encode_round_trip", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &values {
+                acc ^= Posit::from_f64(black_box(v).to_f64(), p16).bits();
+            }
+            acc
+        })
+    });
+    g.bench_function("compare_is_integer_compare", |b| {
+        b.iter(|| {
+            let mut less = 0u32;
+            for w in values.windows(2) {
+                if black_box(w[0]) < black_box(w[1]) {
+                    less += 1;
+                }
+            }
+            less
+        })
+    });
+    g.bench_function("quire_dot_product_255", |b| {
+        b.iter(|| {
+            let mut q = Quire::new(p16);
+            for w in values.windows(2) {
+                q.add_product(black_box(w[0]), black_box(w[1]));
+            }
+            q.to_posit()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_posit_ops);
+criterion_main!(benches);

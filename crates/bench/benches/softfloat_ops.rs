@@ -1,0 +1,51 @@
+//! Criterion benches for the software IEEE floats: the §V comparison in
+//! software-throughput form — binary16 vs bfloat16 vs the same format in
+//! flush-to-zero mode (the "normals only" hardware the paper says posits
+//! should be compared against).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nga_softfloat::{FloatFormat, SoftFloat, SubnormalMode};
+
+fn values(fmt: FloatFormat) -> Vec<SoftFloat> {
+    (0..256u64)
+        .map(|i| SoftFloat::from_bits((i * 193) & fmt.bits_mask() & 0x7FFF, fmt))
+        .filter(|f| !f.is_nan())
+        .collect()
+}
+
+fn bench_softfloat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softfloat");
+    for (name, fmt) in [
+        ("binary16", FloatFormat::BINARY16),
+        (
+            "binary16_ftz",
+            FloatFormat::BINARY16.with_subnormal_mode(SubnormalMode::FlushToZero),
+        ),
+        ("bfloat16", FloatFormat::BFLOAT16),
+        ("fp19", FloatFormat::FP19),
+    ] {
+        let vals = values(fmt);
+        g.bench_function(format!("{name}/mul_add_chain"), |b| {
+            b.iter(|| {
+                let mut acc = SoftFloat::zero(fmt);
+                for w in vals.windows(2) {
+                    acc = acc.add(black_box(w[0]).mul(black_box(w[1])));
+                }
+                acc
+            })
+        });
+        g.bench_function(format!("{name}/fma_chain"), |b| {
+            b.iter(|| {
+                let mut acc = SoftFloat::zero(fmt);
+                for w in vals.windows(2) {
+                    acc = black_box(w[0]).fma(black_box(w[1]), acc);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 10 reproduction: decimal accuracy as a function of the bit string
+//! (positive half, 0..32767) for the four 16-bit formats.
+
+use nga_bench::{banner, print_table};
+use nga_hwmodel::accuracy::{fig10_point, Format16};
+
+fn main() {
+    banner("Fig. 10 — decimal accuracy vs bit string (positive half)");
+    let mut rows = Vec::new();
+    for idx in (1024u32..32768).step_by(2048) {
+        let idx = idx as u16;
+        let cell = |f: Format16| {
+            fig10_point(f, idx).map_or_else(
+                || "-".to_string(),
+                |(v, a)| format!("{:.2} @ {v:.2e}", a.max(0.0)),
+            )
+        };
+        rows.push(vec![
+            idx.to_string(),
+            cell(Format16::Fixed),
+            cell(Format16::Float),
+            cell(Format16::Bfloat),
+            cell(Format16::Posit),
+        ]);
+    }
+    print_table(
+        &[
+            "bit string",
+            "fixed Q8.8",
+            "binary16",
+            "bfloat16",
+            "posit16",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("ASCII shape (columns = bit string 0..32767, rows = accuracy):");
+    for f in Format16::ALL {
+        let mut line = format!("{:>10} ", f.label());
+        for idx in (256u32..32768).step_by(512) {
+            let a = fig10_point(f, idx as u16).map_or(-1.0, |(_, a)| a);
+            let ch = match a {
+                a if a < 0.0 => ' ',
+                a if a < 1.0 => '.',
+                a if a < 2.0 => ':',
+                a if a < 3.0 => '|',
+                a if a < 4.0 => '#',
+                _ => '@',
+            };
+            line.push(ch);
+        }
+        println!("{line}");
+    }
+    println!();
+    println!(
+        "shape check: posit16 tracks fixed-point accuracy over most of the ring \
+         while covering ~17 decades; binary16 is flat at ~3.4 decimals over ~9 \
+         decades; bfloat16 trades accuracy (<3 decimals) for ~76 decades."
+    );
+}

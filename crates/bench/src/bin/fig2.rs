@@ -1,0 +1,78 @@
+//! Fig. 2 reproduction: the bit-heap-centric view of operator generation —
+//! several operators are described as weighted-bit sums, then compiled to
+//! target-optimized compressor trees (ASIC-style 3:2 vs FPGA-style 6:3),
+//! with verified value preservation.
+
+use nga_bench::{banner, fmt, print_table};
+use nga_bitheap::{compress::compress, BitHeap, Netlist, Strategy};
+
+fn main() {
+    banner("Fig. 2 — operators compiled through the bit-heap framework");
+    let mut rows = Vec::new();
+
+    for (name, strategy) in [
+        ("8x8 multiplier", Strategy::GreedyWallace),
+        ("8x8 multiplier", Strategy::AlmSixThree),
+        ("10-bit squarer", Strategy::GreedyWallace),
+        ("10-bit squarer", Strategy::AlmSixThree),
+        ("4-tap 6-bit dot product", Strategy::GreedyWallace),
+        ("4-tap 6-bit dot product", Strategy::AlmSixThree),
+    ] {
+        let mut net = Netlist::new();
+        let heap = match name {
+            "8x8 multiplier" => {
+                let a = net.add_inputs(8);
+                let b = net.add_inputs(8);
+                BitHeap::multiplier(&mut net, &a, &b)
+            }
+            "10-bit squarer" => {
+                let a = net.add_inputs(10);
+                BitHeap::squarer(&mut net, &a)
+            }
+            _ => {
+                let pairs: Vec<_> = (0..4)
+                    .map(|_| (net.add_inputs(6), net.add_inputs(6)))
+                    .collect();
+                BitHeap::dot_product(&mut net, &pairs)
+            }
+        };
+        let bits = heap.bit_count();
+        let height = heap.max_height();
+        let compressed = compress(&mut net, &heap, strategy);
+        let st = &compressed.stats;
+        rows.push(vec![
+            name.to_string(),
+            format!("{strategy:?}"),
+            fmt(bits),
+            fmt(height),
+            fmt(st.stage_count()),
+            fmt(st.stages.iter().map(|s| s.full_adders).sum::<u32>()),
+            fmt(st.stages.iter().map(|s| s.six_three).sum::<u32>()),
+            fmt(st.final_adder_width),
+            fmt(st.cost.alms),
+            fmt(st.cost.depth),
+        ]);
+    }
+    print_table(
+        &[
+            "operator",
+            "strategy",
+            "bits",
+            "height",
+            "stages",
+            "FAs",
+            "6:3s",
+            "adder width",
+            "ALMs",
+            "depth",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "every compression above is verified value-preserving by the test suite; \
+         the 6:3 strategy trades LUT count for fewer stages — the \"decoupling\" \
+         of arithmetic description from target-optimized compression that Fig. 2 \
+         illustrates."
+    );
+}

@@ -1,0 +1,104 @@
+//! Figs. 6/7 reproduction: the 16-bit float and posit encoding rings —
+//! region censuses, trap fractions, theorem-valid arcs, decode classes,
+//! and the timing side channel.
+
+use nga_bench::{banner, fmt, fmt_f, print_table};
+use nga_hwmodel::ring::{timing_experiment, RingComparison, TimingModel};
+
+fn main() {
+    banner("Fig. 6 — ring plot census of IEEE binary16");
+    let c = RingComparison::enumerate();
+    let f = c.float16;
+    print_table(
+        &["region", "encodings", "fraction [%]"],
+        &[
+            vec![
+                "zeros".into(),
+                fmt(f.zeros),
+                fmt_f(100.0 * f.zeros as f64 / 65536.0, 3),
+            ],
+            vec![
+                "normals (fast hw)".into(),
+                fmt(f.normals),
+                fmt_f(100.0 * f.normals as f64 / 65536.0, 3),
+            ],
+            vec![
+                "subnormals (trap)".into(),
+                fmt(f.subnormals),
+                fmt_f(100.0 * f.subnormals as f64 / 65536.0, 3),
+            ],
+            vec![
+                "NaNs (trap)".into(),
+                fmt(f.nans),
+                fmt_f(100.0 * f.nans as f64 / 65536.0, 3),
+            ],
+            vec![
+                "infinities".into(),
+                fmt(f.infinities),
+                fmt_f(100.0 * f.infinities as f64 / 65536.0, 3),
+            ],
+        ],
+    );
+    println!();
+    println!(
+        "trap-to-software fraction: {:.2} % (paper: \"about 6 percent\")",
+        100.0 * f.trap_fraction()
+    );
+    println!(
+        "theorem-valid product arc: {:.1} % of encodings (paper: \"less than half\")",
+        100.0 * f.theorem_valid_fraction()
+    );
+
+    banner("Fig. 7 — ring plot census of posit16");
+    let p = c.posit16;
+    print_table(
+        &["region", "encodings", "fraction [%]"],
+        &[
+            vec![
+                "zero".into(),
+                fmt(p.zeros),
+                fmt_f(100.0 * p.zeros as f64 / 65536.0, 4),
+            ],
+            vec![
+                "NaR".into(),
+                fmt(p.nars),
+                fmt_f(100.0 * p.nars as f64 / 65536.0, 4),
+            ],
+            vec![
+                "fixed-field decode (easy arcs)".into(),
+                fmt(p.fixed_field),
+                fmt_f(100.0 * p.fixed_field_fraction(), 1),
+            ],
+            vec![
+                "run-length decode".into(),
+                fmt(p.run_length),
+                fmt_f(100.0 * p.run_length as f64 / 65536.0, 1),
+            ],
+        ],
+    );
+    println!();
+    println!(
+        "exceptions: {} of 65536 encodings ({:.4} %) — versus {:.2} % trap encodings for floats",
+        p.zeros + p.nars,
+        100.0 * p.exception_fraction(),
+        100.0 * f.trap_fraction()
+    );
+
+    banner("Timing side channel (§V, citing Andrysco et al.)");
+    let leak = timing_experiment(&TimingModel::default());
+    print_table(
+        &["system", "distinct latencies", "mean cycles"],
+        &[
+            vec![
+                "binary16 (subnormal traps)".into(),
+                fmt(leak.float_latencies),
+                fmt_f(leak.float_mean, 1),
+            ],
+            vec![
+                "posit16 (constant time)".into(),
+                fmt(leak.posit_latencies),
+                fmt_f(leak.posit_mean, 1),
+            ],
+        ],
+    );
+}

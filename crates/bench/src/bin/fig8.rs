@@ -1,0 +1,146 @@
+//! Fig. 8 reproduction: the Yonemoto 8-bit posit multiplier — exhaustive
+//! equivalence against the reference multiply, datapath statistics, and
+//! the §V hardware cost ranking.
+
+use nga_bench::{banner, fmt, print_table};
+use nga_core::{Posit, PositFormat};
+use nga_hwmodel::cost::{
+    adder_cost, comparator_cost, fpu_cost, fpu_sweep, multiplier_cost, or_tree_levels, NumberSystem,
+};
+use nga_hwmodel::yonemoto::Posit8Multiplier;
+use nga_hwmodel::yonemoto16::Posit16Multiplier;
+
+fn main() {
+    banner("Fig. 8 — Yonemoto posit8 multiplier: exhaustive verification");
+    let m = Posit8Multiplier::new();
+    let mut mismatches = 0u32;
+    let mut exceptions = 0u32;
+    let mut renorms = 0u32;
+    let mut run_hist = [0u32; 8];
+    for a in 0..=255u16 {
+        for b in 0..=255u16 {
+            let (got, trace) = m.multiply(a as u8, b as u8);
+            let want = Posit::from_bits(u64::from(a), PositFormat::POSIT8)
+                .mul(Posit::from_bits(u64::from(b), PositFormat::POSIT8));
+            if u64::from(got) != want.bits() {
+                mismatches += 1;
+            }
+            if trace.exception_path {
+                exceptions += 1;
+            } else {
+                if trace.renormalized {
+                    renorms += 1;
+                }
+                run_hist[trace.run_a.min(7) as usize] += 1;
+            }
+        }
+    }
+    println!("65536 input pairs: {mismatches} mismatches against the reference");
+    println!("exception-path activations (zero/NaR operands): {exceptions}");
+    println!("renormalization shifts on the real path: {renorms}");
+    println!();
+    print_table(
+        &["regime run length", "frequency"],
+        &(1..8)
+            .map(|r| vec![fmt(r), fmt(run_hist[r])])
+            .collect::<Vec<_>>(),
+    );
+
+    banner("the same datapath at 16 bits (es = 1 joins the fold)");
+    let m16 = Posit16Multiplier::new();
+    let mut mismatches16 = 0u64;
+    let mut s = 0xFACEu64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s & 0xFFFF) as u16
+    };
+    let trials = 2_000_000u64;
+    for _ in 0..trials {
+        let (a, b) = (next(), next());
+        let got = m16.multiply(a, b);
+        let want = Posit::from_bits(u64::from(a), PositFormat::POSIT16)
+            .mul(Posit::from_bits(u64::from(b), PositFormat::POSIT16));
+        if u64::from(got) != want.bits() {
+            mismatches16 += 1;
+        }
+    }
+    println!("{trials} random posit16 pairs: {mismatches16} mismatches (plus exhaustive extreme rows in the test suite)");
+    println!("decode detail: the es=1 exponent bit of a negative encoding reads *complemented* — the two's-complement borrow lands one octave in the -2 hidden bit and flips e.");
+
+    banner("§V hardware cost ranking (16-bit formats)");
+    let systems = [
+        ("posit16", NumberSystem::Posit, 13u32),
+        ("float16 normals-only", NumberSystem::FloatNormalsOnly, 10),
+        ("float16 full IEEE 754", NumberSystem::FloatFullIeee, 10),
+    ];
+    let rows: Vec<Vec<String>> = systems
+        .iter()
+        .map(|(name, sys, sig)| {
+            let mul = multiplier_cost(*sys, 16, *sig);
+            let add = adder_cost(*sys, 16, *sig);
+            let cmp = comparator_cost(*sys, 16);
+            let fpu = fpu_cost(*sys, 16, *sig);
+            vec![
+                (*name).to_string(),
+                fmt(mul.gates),
+                fmt(add.gates),
+                fmt(cmp.gates),
+                fmt(fpu.gates),
+                fmt(fpu.levels),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "unit",
+            "mul gates",
+            "add gates",
+            "cmp gates",
+            "FPU gates",
+            "levels",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "posit exception OR-tree: {} levels at 16 bits, {} at 64 bits (paper: <= 6)",
+        or_tree_levels(16),
+        or_tree_levels(64)
+    );
+    println!(
+        "ranking check (FPU totals): normals-only < posit < full IEEE — {:.2}x and {:.2}x",
+        fpu_cost(NumberSystem::Posit, 16, 13).gates as f64
+            / fpu_cost(NumberSystem::FloatNormalsOnly, 16, 10).gates as f64,
+        fpu_cost(NumberSystem::FloatFullIeee, 16, 10).gates as f64
+            / fpu_cost(NumberSystem::Posit, 16, 13).gates as f64,
+    );
+
+    banner("FPU cost sweep across widths (honest-model view)");
+    let rows: Vec<Vec<String>> = fpu_sweep()
+        .into_iter()
+        .map(|(n, p, no, f)| {
+            vec![
+                fmt(n),
+                fmt(p.gates),
+                fmt(no.gates),
+                fmt(f.gates),
+                if p.gates < f.gates {
+                    "posit < full"
+                } else {
+                    "posit > full"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["width", "posit", "normals-only", "full IEEE", "§V ordering"],
+        &rows,
+    );
+    println!();
+    println!(
+        "the §V sentence holds at the paper's own 16-bit comparison point; at 8          bits decode overhead dominates, and at 24/32 bits the posit's wider          maximum significand outgrows the full-IEEE overhead — consistent with          the synthesis results of the paper's reference [31]."
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 9 reproduction: decimal accuracy as a function of magnitude for
+//! the four 16-bit formats. Prints the series the paper plots plus an
+//! ASCII rendering of the characteristic shapes.
+
+use nga_bench::{banner, fmt_f, print_table};
+use nga_hwmodel::accuracy::{decimal_accuracy_at, dynamic_range_decades, Format16};
+
+fn main() {
+    banner("Fig. 9 — decimal accuracy vs magnitude (16-bit formats)");
+    let mut rows = Vec::new();
+    // log10(|x|) from -9 to +9 in half-decade steps.
+    let mut log10x = -9.0f64;
+    while log10x <= 9.01 {
+        let x = 10f64.powf(log10x);
+        let cell = |f: Format16| {
+            decimal_accuracy_at(f, x).map_or_else(|| "-".to_string(), |a| fmt_f(a.max(0.0), 2))
+        };
+        rows.push(vec![
+            fmt_f(log10x, 1),
+            cell(Format16::Fixed),
+            cell(Format16::Float),
+            cell(Format16::Bfloat),
+            cell(Format16::Posit),
+        ]);
+        log10x += 0.5;
+    }
+    print_table(
+        &["log10|x|", "fixed Q8.8", "binary16", "bfloat16", "posit16"],
+        &rows,
+    );
+
+    println!();
+    println!("ASCII shape (columns = log10|x| in [-9,9], rows = accuracy):");
+    for f in Format16::ALL {
+        let mut line = format!("{:>10} ", f.label());
+        let mut lx = -9.0;
+        while lx <= 9.01 {
+            let a = decimal_accuracy_at(f, 10f64.powf(lx)).unwrap_or(-1.0);
+            let ch = match a {
+                a if a < 0.0 => ' ',
+                a if a < 1.0 => '.',
+                a if a < 2.0 => ':',
+                a if a < 3.0 => '|',
+                a if a < 4.0 => '#',
+                _ => '@',
+            };
+            line.push(ch);
+            lx += 0.25;
+        }
+        println!("{line}");
+    }
+
+    banner("dynamic ranges (paper: ~17 / ~9 / ~76 / <5 decades)");
+    print_table(
+        &["format", "decades"],
+        &Format16::ALL
+            .iter()
+            .map(|f| vec![f.label().to_string(), fmt_f(dynamic_range_decades(*f), 2)])
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!(
+        "shape check: fixed = rising ramp, floats = flat trapezoid, \
+         posit = isosceles triangle centred at magnitude 0."
+    );
+}

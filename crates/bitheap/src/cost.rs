@@ -1,0 +1,130 @@
+use std::fmt;
+use std::ops::Add;
+
+/// FPGA implementation cost in the paper's §III resource model.
+///
+/// An ALM (adaptive logic module, the Intel flavour of a logic cell)
+/// contains a fracturable 6-input LUT usable as two smaller LUTs, two
+/// flip-flops and one bit of carry-chain arithmetic. We count:
+///
+/// - `luts`: LUT functions (a 6-input function = 1, smaller functions can
+///   pair up two-per-ALM),
+/// - `alms`: ALMs after pairing,
+/// - `carry_bits`: bits riding a hard ripple-carry chain,
+/// - `depth`: logic levels on the critical path (carry chains count as one
+///   level — they are "comparatively faster on FPGAs than random logic",
+///   §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FpgaCost {
+    /// LUT functions used.
+    pub luts: u32,
+    /// ALMs after packing two small LUTs per ALM where possible.
+    pub alms: u32,
+    /// Carry-chain bits.
+    pub carry_bits: u32,
+    /// Logic depth in levels.
+    pub depth: u32,
+}
+
+impl FpgaCost {
+    /// Cost of nothing.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Cost of a `width`-bit ripple-carry adder: one ALM per bit, one
+    /// logic level total (the hard carry chain).
+    #[must_use]
+    pub fn adder(width: u32) -> Self {
+        Self {
+            luts: width,
+            alms: width,
+            carry_bits: width,
+            depth: 1,
+        }
+    }
+
+    /// Cost of `count` independent small LUT functions of at most
+    /// `max_inputs` inputs each (two ≤4-input functions share an ALM).
+    #[must_use]
+    pub fn luts(count: u32, max_inputs: u32) -> Self {
+        let alms = if max_inputs <= 4 {
+            count.div_ceil(2)
+        } else {
+            count
+        };
+        Self {
+            luts: count,
+            alms,
+            carry_bits: 0,
+            depth: 1,
+        }
+    }
+}
+
+impl Add for FpgaCost {
+    type Output = Self;
+
+    /// Sequential composition: resources add, depths add.
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            luts: self.luts + rhs.luts,
+            alms: self.alms + rhs.alms,
+            carry_bits: self.carry_bits + rhs.carry_bits,
+            depth: self.depth + rhs.depth,
+        }
+    }
+}
+
+impl FpgaCost {
+    /// Parallel composition: resources add, depth is the max.
+    #[must_use]
+    pub fn parallel(self, rhs: Self) -> Self {
+        Self {
+            luts: self.luts + rhs.luts,
+            alms: self.alms + rhs.alms,
+            carry_bits: self.carry_bits + rhs.carry_bits,
+            depth: self.depth.max(rhs.depth),
+        }
+    }
+}
+
+impl fmt::Display for FpgaCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs / {} ALMs / {} carry bits / depth {}",
+            self.luts, self.alms, self.carry_bits, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_cost() {
+        let c = FpgaCost::adder(16);
+        assert_eq!(c.alms, 16);
+        assert_eq!(c.carry_bits, 16);
+        assert_eq!(c.depth, 1);
+    }
+
+    #[test]
+    fn small_luts_pair_into_alms() {
+        assert_eq!(FpgaCost::luts(5, 4).alms, 3);
+        assert_eq!(FpgaCost::luts(5, 6).alms, 5);
+    }
+
+    #[test]
+    fn composition() {
+        let seq = FpgaCost::adder(8) + FpgaCost::luts(4, 4);
+        assert_eq!(seq.depth, 2);
+        assert_eq!(seq.alms, 10);
+        let par = FpgaCost::adder(8).parallel(FpgaCost::luts(4, 4));
+        assert_eq!(par.depth, 1);
+        assert_eq!(par.alms, 10);
+    }
+}

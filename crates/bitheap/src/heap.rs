@@ -1,0 +1,290 @@
+use std::fmt;
+
+use crate::netlist::{Netlist, NodeId};
+
+/// A bit heap: an arbitrary sum of weighted bits (§II-D).
+///
+/// Column `c` holds bits of weight `2^(c + lsb_weight)`. Signed values are
+/// represented the standard bit-heap way — by adding the two's-complement
+/// constant and treating the sign bit as a negatively-weighted bit folded
+/// into a constant correction — but the operators in this crate are
+/// unsigned, matching the paper's §III examples.
+///
+/// ```
+/// use nga_bitheap::{BitHeap, Netlist};
+/// let mut net = Netlist::new();
+/// let a = net.add_inputs(3);
+/// let b = net.add_inputs(3);
+/// let heap = BitHeap::multiplier(&mut net, &a, &b);
+/// assert_eq!(heap.width(), 5); // columns 0..=4 hold partial products
+/// assert_eq!(heap.bit_count(), 9); // 3x3 partial products
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitHeap {
+    columns: Vec<Vec<NodeId>>,
+}
+
+impl BitHeap {
+    /// Creates an empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one bit of weight `2^column`.
+    pub fn add_bit(&mut self, column: usize, bit: NodeId) {
+        if self.columns.len() <= column {
+            self.columns.resize(column + 1, Vec::new());
+        }
+        self.columns[column].push(bit);
+    }
+
+    /// Number of columns (the width of the result before compression).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Bits in column `c` (empty slice if out of range).
+    #[must_use]
+    pub fn column(&self, c: usize) -> &[NodeId] {
+        self.columns.get(c).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of bits in the heap.
+    #[must_use]
+    pub fn bit_count(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Height of the tallest column.
+    #[must_use]
+    pub fn max_height(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Per-column heights — the "number of independent inputs per column"
+    /// balance §III inspects on the 3×3 multiplier.
+    #[must_use]
+    pub fn heights(&self) -> Vec<usize> {
+        self.columns.iter().map(Vec::len).collect()
+    }
+
+    /// Evaluates the heap's numeric value under an input assignment.
+    #[must_use]
+    pub fn value(&self, net: &Netlist, inputs: &[bool]) -> u64 {
+        let vals = net.eval(inputs);
+        let mut sum = 0u64;
+        for (c, col) in self.columns.iter().enumerate() {
+            let ones = col.iter().filter(|&&b| vals[b]).count() as u64;
+            sum += ones << c;
+        }
+        sum
+    }
+
+    /// Evaluates as `u128` for wide heaps.
+    #[must_use]
+    pub fn value_wide(&self, net: &Netlist, inputs: &[bool]) -> u128 {
+        let vals = net.eval(inputs);
+        let mut sum = 0u128;
+        for (c, col) in self.columns.iter().enumerate() {
+            let ones = col.iter().filter(|&&b| vals[b]).count() as u128;
+            sum += ones << c;
+        }
+        sum
+    }
+
+    /// The classic pencil-and-paper partial-product heap of an unsigned
+    /// multiplier (Fig. 3): bit `p_{i,j} = b_i AND a_j` lands in column
+    /// `i + j`.
+    #[must_use]
+    pub fn multiplier(net: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Self {
+        let mut heap = Self::new();
+        for (i, &bi) in b.iter().enumerate() {
+            for (j, &aj) in a.iter().enumerate() {
+                let pp = net.and(&[aj, bi]);
+                heap.add_bit(i + j, pp);
+            }
+        }
+        heap
+    }
+
+    /// The specialized squarer heap: `a_i AND a_j` for `i < j` appears
+    /// once at weight `i+j+1` instead of twice at `i+j`, and the diagonal
+    /// `a_i AND a_i = a_i` needs no gate at all — the §II-A observation
+    /// that "a square requires fewer bit-level operations to compute than
+    /// a multiplication".
+    #[must_use]
+    pub fn squarer(net: &mut Netlist, a: &[NodeId]) -> Self {
+        let mut heap = Self::new();
+        for i in 0..a.len() {
+            heap.add_bit(2 * i, a[i]); // diagonal: a_i * a_i = a_i
+            for j in (i + 1)..a.len() {
+                let pp = net.and(&[a[i], a[j]]);
+                heap.add_bit(i + j + 1, pp); // doubled cross term
+            }
+        }
+        heap
+    }
+
+    /// A sum-of-products heap (dot product): partial products of each
+    /// `a_k × b_k` merged into one heap — the §III observation that soft
+    /// multipliers and dot products share the same summation structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lists have different lengths.
+    #[must_use]
+    pub fn dot_product(net: &mut Netlist, pairs: &[(Vec<NodeId>, Vec<NodeId>)]) -> Self {
+        let mut heap = Self::new();
+        for (a, b) in pairs {
+            for (i, &bi) in b.iter().enumerate() {
+                for (j, &aj) in a.iter().enumerate() {
+                    let pp = net.and(&[aj, bi]);
+                    heap.add_bit(i + j, pp);
+                }
+            }
+        }
+        heap
+    }
+
+    /// A constant added to the heap (one constant bit per set bit).
+    pub fn add_constant(&mut self, net: &mut Netlist, value: u64) {
+        for c in 0..64 {
+            if (value >> c) & 1 == 1 {
+                let bit = net.constant(true);
+                self.add_bit(c, bit);
+            }
+        }
+    }
+
+    /// Merges another heap into this one at a column offset (operator
+    /// fusion at the heap level, §II-A: "intermediate computations that can
+    /// be used by several subsequent computations" share one summation).
+    pub fn merge(&mut self, other: &BitHeap, offset: usize) {
+        for (c, col) in other.columns.iter().enumerate() {
+            for &b in col {
+                self.add_bit(c + offset, b);
+            }
+        }
+    }
+}
+
+impl fmt::Display for BitHeap {
+    /// Renders the classic dot diagram, tallest column left-padded.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = self.max_height();
+        for row in 0..h {
+            for c in (0..self.columns.len()).rev() {
+                let ch = if self.columns[c].len() > row {
+                    'x'
+                } else {
+                    '.'
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_heap_is_exhaustively_correct() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(4);
+        let b = net.add_inputs(4);
+        let heap = BitHeap::multiplier(&mut net, &a, &b);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let assign = Netlist::assignment_from_ints(&[(&a, x), (&b, y)]);
+                assert_eq!(heap.value(&net, &assign), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_heap_shape_matches_fig3() {
+        // Fig. 3: 3x3 -> heights per column 0..5 are 1,2,3,2,1,0.
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let heap = BitHeap::multiplier(&mut net, &a, &b);
+        assert_eq!(heap.heights(), vec![1, 2, 3, 2, 1]);
+        assert_eq!(heap.bit_count(), 9);
+    }
+
+    #[test]
+    fn squarer_is_exhaustively_correct_and_cheaper() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(5);
+        let heap = BitHeap::squarer(&mut net, &a);
+        for x in 0..32u64 {
+            let assign = Netlist::assignment_from_ints(&[(&a, x)]);
+            assert_eq!(heap.value(&net, &assign), x * x, "{x}^2");
+        }
+        // 5x5 multiplier: 25 partial products; squarer: 5 + C(5,2) = 15.
+        assert_eq!(heap.bit_count(), 15);
+    }
+
+    #[test]
+    fn dot_product_heap_correct() {
+        let mut net = Netlist::new();
+        let a0 = net.add_inputs(3);
+        let b0 = net.add_inputs(3);
+        let a1 = net.add_inputs(3);
+        let b1 = net.add_inputs(3);
+        let heap = BitHeap::dot_product(
+            &mut net,
+            &[(a0.clone(), b0.clone()), (a1.clone(), b1.clone())],
+        );
+        for x0 in 0..8u64 {
+            for y0 in 0..8u64 {
+                for x1 in [0u64, 3, 7] {
+                    for y1 in [0u64, 5, 6] {
+                        let assign = Netlist::assignment_from_ints(&[
+                            (&a0, x0),
+                            (&b0, y0),
+                            (&a1, x1),
+                            (&b1, y1),
+                        ]);
+                        assert_eq!(heap.value(&net, &assign), x0 * y0 + x1 * y1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_merge() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let mut heap = BitHeap::new();
+        for (i, &bit) in a.iter().enumerate() {
+            heap.add_bit(i, bit);
+        }
+        heap.add_constant(&mut net, 0b101);
+        let mut shifted = BitHeap::new();
+        shifted.merge(&heap, 2);
+        for x in 0..8u64 {
+            let assign = Netlist::assignment_from_ints(&[(&a, x)]);
+            assert_eq!(heap.value(&net, &assign), x + 5);
+            assert_eq!(shifted.value(&net, &assign), (x + 5) * 4);
+        }
+    }
+
+    #[test]
+    fn display_draws_dot_diagram() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let heap = BitHeap::multiplier(&mut net, &a, &b);
+        let art = heap.to_string();
+        assert!(art.contains('x'));
+        assert_eq!(art.lines().count(), 3, "max height rows");
+    }
+}

@@ -1,0 +1,318 @@
+//! Fractal-synthesis carry-chain packing (§III).
+//!
+//! Soft-logic arithmetic produces "many independent short carry chains"
+//! that must be packed onto the FPGA's fixed-granularity physical chains,
+//! with segments "arithmetically separated from each other (typically by
+//! the insertion of non-functions)". The paper's algorithm re-synthesizes
+//! during clustering: if a segment cannot fit, it is decomposed, split-off
+//! sub-segments are placed in remaining gaps, a hard depopulation
+//! completes the chain, and the whole process is **iterated exhaustively
+//! from seeds** — keeping only each seed and its final metric, never the
+//! full solution, which "reduces RAM and disk usage and in turn provides
+//! a marked improvement in run time".
+//!
+//! This module is a faithful algorithmic model of that flow (not of any
+//! vendor placer): it reproduces the *shape* of the result — naive
+//! first-fit packing stalls in the 60–70 % utilization band the paper
+//! quotes, while seeded decompose-and-depopulate packing reaches the
+//! 90 %+ band of the Brainwave datapath example.
+
+use std::fmt;
+
+/// A logical carry-chain segment of `len` ALM positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Length in ALM positions.
+    pub len: u32,
+}
+
+/// Outcome of a packing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackingResult {
+    /// Physical chains used.
+    pub chains_used: u32,
+    /// Occupied positions (segment ALMs + separators + split overhead).
+    pub positions_used: u32,
+    /// Useful segment positions (sum of original segment lengths).
+    pub useful_positions: u32,
+    /// Number of segment decompositions performed.
+    pub splits: u32,
+    /// The seed that produced this result (fractal flow only).
+    pub seed: u64,
+}
+
+impl PackingResult {
+    /// Utilization: useful positions over total capacity of used chains.
+    #[must_use]
+    pub fn utilization(&self, chain_len: u32) -> f64 {
+        if self.chains_used == 0 {
+            return 0.0;
+        }
+        self.useful_positions as f64 / (self.chains_used * chain_len) as f64
+    }
+}
+
+impl fmt::Display for PackingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chains, {} useful / {} used positions, {} splits",
+            self.chains_used, self.useful_positions, self.positions_used, self.splits
+        )
+    }
+}
+
+/// Naive baseline: first-fit of whole segments (plus one separator
+/// position between neighbours), never decomposing. This is the
+/// conventional flow whose "low fitting rates … underscore that there is
+/// rarely a good solution available".
+#[must_use]
+pub fn pack_first_fit(segments: &[Segment], chain_len: u32) -> PackingResult {
+    let mut chains: Vec<u32> = Vec::new(); // free positions left per chain
+    let mut useful = 0u32;
+    let mut used = 0u32;
+    for seg in segments {
+        assert!(seg.len <= chain_len, "segment longer than a physical chain");
+        useful += seg.len;
+        // Need len (+1 separator if the chain already has content).
+        let mut placed = false;
+        for free in chains.iter_mut() {
+            let need = seg.len + u32::from(*free < chain_len);
+            if *free >= need {
+                *free -= need;
+                used += need;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            chains.push(chain_len - seg.len);
+            used += seg.len;
+        }
+    }
+    PackingResult {
+        chains_used: chains.len() as u32,
+        positions_used: used,
+        useful_positions: useful,
+        splits: 0,
+        seed: 0,
+    }
+}
+
+/// One fractal-synthesis trial from a given seed: randomized order,
+/// decompose-on-miss, gap-filling, hard depopulation.
+#[must_use]
+fn fractal_trial(segments: &[Segment], chain_len: u32, seed: u64) -> PackingResult {
+    // Seed 0 is the deterministic first-fit-decreasing order (always part
+    // of the seed set, so the fractal flow never loses to the baseline);
+    // other seeds shuffle.
+    let mut order: Vec<usize> = (0..segments.len()).collect();
+    if seed == 0 {
+        order.sort_by_key(|&i| std::cmp::Reverse(segments[i].len));
+    } else {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+    }
+
+    let mut chains: Vec<u32> = Vec::new();
+    let mut useful = 0u32;
+    let mut used = 0u32;
+    let mut splits = 0u32;
+    let mut leftovers: Vec<u32> = Vec::new(); // split-off sub-segment lengths
+
+    let place = |chains: &mut Vec<u32>, len: u32, used: &mut u32| -> bool {
+        for free in chains.iter_mut() {
+            let need = len + u32::from(*free < chain_len);
+            if *free >= need {
+                *free -= need;
+                *used += need;
+                return true;
+            }
+        }
+        false
+    };
+
+    for &i in &order {
+        let seg = segments[i];
+        useful += seg.len;
+        if place(&mut chains, seg.len, &mut used) {
+            continue;
+        }
+        // Decompose: split into the largest piece that fits some gap plus
+        // a remainder (each split costs one overhead position to rejoin).
+        let best_gap = chains
+            .iter()
+            .map(|&f| f.saturating_sub(1))
+            .max()
+            .unwrap_or(0);
+        if best_gap >= 2 && seg.len > best_gap {
+            splits += 1;
+            let first = best_gap;
+            let rest = seg.len - first + 1; // +1 rejoin overhead
+            let ok = place(&mut chains, first, &mut used);
+            debug_assert!(ok, "best gap fits by construction");
+            leftovers.push(rest);
+        } else {
+            // Open a fresh chain.
+            chains.push(chain_len - seg.len);
+            used += seg.len;
+        }
+    }
+    // Place split-off sub-segments into remaining gaps (smallest first so
+    // they slot into tight gaps), opening chains only as a last resort.
+    leftovers.sort_unstable();
+    for len in leftovers {
+        if !place(&mut chains, len, &mut used) {
+            if let Some(free) = chains.iter_mut().max_by_key(|f| **f) {
+                if *free >= 2 {
+                    // Depopulate: split across the best gap and a new chain.
+                    let first = *free - 1;
+                    let gap = first.min(len);
+                    *free -= gap + u32::from(*free < chain_len);
+                    used += gap;
+                    let rest = len - gap;
+                    if rest > 0 {
+                        chains.push(chain_len - rest);
+                        used += rest;
+                    }
+                    continue;
+                }
+            }
+            chains.push(chain_len - len);
+            used += len;
+        }
+    }
+    PackingResult {
+        chains_used: chains.len() as u32,
+        positions_used: used,
+        useful_positions: useful,
+        splits,
+        seed,
+    }
+}
+
+/// The full fractal-synthesis flow: iterate trials from `iterations`
+/// seeds, keep only seed + metric per trial (the paper's memory
+/// optimization), and re-create the best solution at the end.
+#[must_use]
+pub fn pack_fractal(segments: &[Segment], chain_len: u32, iterations: u32) -> PackingResult {
+    assert!(iterations > 0, "at least one seed");
+    // Track (metric, seed) only — never whole solutions. Seed 0 (the
+    // deterministic decreasing order) is always in the set.
+    let mut best: Option<(u32, u64)> = None;
+    for i in 0..iterations {
+        let seed = if i == 0 {
+            0
+        } else {
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i))
+        };
+        let r = fractal_trial(segments, chain_len, seed);
+        let metric = r.chains_used;
+        if best.is_none_or(|(m, _)| metric < m) {
+            best = Some((metric, seed));
+        }
+    }
+    let (_, seed) = best.expect("at least one trial");
+    // "The best solution can be quickly re-created using the chosen seed."
+    let trial = fractal_trial(segments, chain_len, seed);
+    // The decompose-and-fill flow should dominate plain first-fit; if an
+    // adversarial workload ever makes splitting counterproductive, fall
+    // back to the naive packing (a real tool would keep that trial too).
+    let naive = pack_first_fit(segments, chain_len);
+    if naive.chains_used < trial.chains_used {
+        naive
+    } else {
+        trial
+    }
+}
+
+/// A representative soft-multiplier workload: the carry segments produced
+/// by `count` small multipliers of `width` bits (each contributes one
+/// chain of `width + 2` positions and one of `width / 2 + 1`).
+#[must_use]
+pub fn multiplier_workload(count: u32, width: u32) -> Vec<Segment> {
+    let mut v = Vec::new();
+    for _ in 0..count {
+        v.push(Segment { len: width + 2 });
+        v.push(Segment { len: width / 2 + 1 });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_places_everything() {
+        let segs = multiplier_workload(50, 5);
+        let r = pack_first_fit(&segs, 20);
+        assert_eq!(r.useful_positions, segs.iter().map(|s| s.len).sum::<u32>());
+        assert!(r.chains_used > 0);
+    }
+
+    #[test]
+    fn fractal_never_uses_more_chains_than_first_fit() {
+        for (count, width, chain_len) in [(30, 5, 16), (50, 7, 20), (80, 3, 12)] {
+            let segs = multiplier_workload(count, width);
+            let naive = pack_first_fit(&segs, chain_len);
+            let fractal = pack_fractal(&segs, chain_len, 32);
+            assert!(
+                fractal.chains_used <= naive.chains_used,
+                "{count}x{width} on {chain_len}: fractal {} vs naive {}",
+                fractal.chains_used,
+                naive.chains_used
+            );
+        }
+    }
+
+    #[test]
+    fn fractal_utilization_beats_naive_on_awkward_sizes() {
+        // Segments of length 11 on chains of 16: naive wastes 5 of every
+        // 16 positions; decomposition fills the gaps.
+        let segs: Vec<Segment> = (0..64).map(|_| Segment { len: 11 }).collect();
+        let naive = pack_first_fit(&segs, 16);
+        let fractal = pack_fractal(&segs, 16, 64);
+        assert!(
+            fractal.utilization(16) > naive.utilization(16),
+            "fractal {:.2} vs naive {:.2}",
+            fractal.utilization(16),
+            naive.utilization(16)
+        );
+        // The paper's bands: naive soft arithmetic ~60-70 %, fractal 90 %+.
+        assert!(naive.utilization(16) < 0.75);
+        assert!(fractal.utilization(16) > 0.85);
+    }
+
+    #[test]
+    fn deterministic_given_seed_count() {
+        let segs = multiplier_workload(40, 6);
+        let a = pack_fractal(&segs, 20, 16);
+        let b = pack_fractal(&segs, 20, 16);
+        assert_eq!(a, b, "seeded flow is reproducible");
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than a physical chain")]
+    fn oversized_segment_rejected() {
+        let _ = pack_first_fit(&[Segment { len: 30 }], 20);
+    }
+
+    #[test]
+    fn conservation_of_useful_positions() {
+        let segs = multiplier_workload(25, 9);
+        let total: u32 = segs.iter().map(|s| s.len).sum();
+        let fractal = pack_fractal(&segs, 24, 16);
+        assert_eq!(fractal.useful_positions, total);
+        assert!(fractal.positions_used >= total);
+    }
+}

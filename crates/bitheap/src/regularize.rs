@@ -1,0 +1,246 @@
+//! Multiplier regularization: the §III worked example.
+//!
+//! The pencil-and-paper 3×3 multiplier (Fig. 3) maps badly to FPGA carry
+//! chains: its columns hold between one and three partial products (two
+//! input ripple-carry adders can't take three), and the number of
+//! independent inputs per column is "grossly unbalanced, varying from two
+//! to six bits". The paper restates column 2 with the redundant sum
+//! `AUX1 = p02 ⊕ p11` computed out of band, and column 3/4 with
+//! `AUX2 = p02·p11` (the redundant carry) — folding everything into a
+//! **single two-input carry chain of 3 ALMs plus one out-of-band ALM**
+//! (Fig. 4), with "routing and logic balanced: 6 independent inputs over
+//! the 4 ALMs".
+
+use crate::cost::FpgaCost;
+use crate::heap::BitHeap;
+use crate::netlist::{Netlist, NodeId};
+
+/// The regularized 3×3 multiplier of Fig. 4: two partial-product rows that
+/// sum to the product on a single two-input carry chain.
+#[derive(Debug, Clone)]
+pub struct RegularizedMul3 {
+    /// Row PP0 of Fig. 4, columns 0..=4: `p00, p01, p20, p21, p22`.
+    pub row0: Vec<(usize, NodeId)>,
+    /// Row PP1 of Fig. 4: `p10, AUX1, AUX2, AUX2 ⊕ p12`.
+    pub row1: Vec<(usize, NodeId)>,
+    /// The heap formed by both rows (≤2 bits per column by construction).
+    pub heap: BitHeap,
+    /// Modelled cost: a 3-ALM carry chain plus one out-of-band ALM.
+    pub cost: FpgaCost,
+}
+
+impl RegularizedMul3 {
+    /// Builds the Fig. 4 structure over the given 3-bit inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input bus is not exactly 3 bits.
+    #[must_use]
+    pub fn build(net: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Self {
+        assert_eq!(a.len(), 3, "RegularizedMul3 is the 3x3 worked example");
+        assert_eq!(b.len(), 3);
+        // Partial products p_{i,j} = b_i AND a_j.
+        let p = |net: &mut Netlist, i: usize, j: usize| net.and(&[a[j], b[i]]);
+        let p00 = p(net, 0, 0);
+        let p01 = p(net, 0, 1);
+        let p02 = p(net, 0, 2);
+        let p10 = p(net, 1, 0);
+        let p11 = p(net, 1, 1);
+        let p12 = p(net, 1, 2);
+        let p20 = p(net, 2, 0);
+        let p21 = p(net, 2, 1);
+        let p22 = p(net, 2, 2);
+
+        // Out-of-band auxiliary functions (one ALM: a fracturable 6-LUT
+        // computing both from the four inputs a2, a1, b1, b0):
+        //   AUX1 = p02 xor p11   (redundant sum of column 2)
+        //   AUX2 = p02 and p11   (redundant carry into column 3)
+        let aux1 = net.xor(&[p02, p11]);
+        let aux2 = net.and(&[p02, p11]);
+        // Column 4 of row 1 is AUX2 ⊕ p12 — the paper's restated redundant
+        // sum; the matching redundant carry AUX2·p12 reduces to
+        // p02·p11·p12, which lands in column 5 … but a 3×3 product has
+        // only 6 bits (columns 0..=5) and the top column is produced by
+        // the carry chain itself, so the two-row form is:
+        //   PP0: p00 p01 p20 p21 p22   (columns 0,1,2,3,4)
+        //   PP1:  -  p10 AUX1 AUX2 AUX2⊕p12 (columns 1,2,3,4)
+        let aux2_xor_p12 = net.xor(&[aux2, p12]);
+        // Wait — the refactoring must keep the total sum identical:
+        //   original column sums: c2: p02+p11+p20, c3: p12+p21, c4: p22.
+        //   new: c2: AUX1+p20, c3: AUX2+p21+?  — AUX1+2*AUX2 = p02+p11
+        //   so c2+2*c3 balance holds with AUX2 in c3 and p12 staying in c3
+        //   … but then c3 has three entries (p12, p21, AUX2). The paper
+        //   resolves it by the second restatement: c3 carries the redundant
+        //   sum AUX2 ⊕ p12 and pushes the redundant carry AUX2·p12 into
+        //   c4, where it merges with p22 on the chain. The final identity:
+        //   AUX2 + p12 = (AUX2 ⊕ p12) + 2·(AUX2·p12).
+        let aux3 = net.and(&[aux2, p12]); // redundant carry into column 4
+
+        let row0 = vec![(0, p00), (1, p01), (2, p20), (3, p21), (4, p22)];
+        let row1 = vec![(1, p10), (2, aux1), (3, aux2_xor_p12), (4, aux3)];
+
+        let mut heap = BitHeap::new();
+        for &(c, bit) in row0.iter().chain(&row1) {
+            heap.add_bit(c, bit);
+        }
+
+        // Cost per §III: a single 3-ALM carry chain (the 6-bit result needs
+        // a 5-position two-row add; ALM arithmetic mode takes two adjacent
+        // columns per ALM) plus one out-of-band ALM for the AUX functions.
+        let cost = FpgaCost {
+            luts: 4,
+            alms: 4,
+            carry_bits: 5,
+            depth: 2, // aux level + chain level
+        };
+
+        Self {
+            row0,
+            row1,
+            heap,
+            cost,
+        }
+    }
+
+    /// Balance metric: the number of distinct primary inputs feeding each
+    /// column — §III's "6 independent inputs over the 4 ALMs".
+    #[must_use]
+    pub fn column_input_counts(&self, net: &Netlist) -> Vec<usize> {
+        (0..self.heap.width())
+            .map(|c| {
+                let mut seen = std::collections::BTreeSet::new();
+                for &bit in self.heap.column(c) {
+                    collect_inputs(net, bit, &mut seen);
+                }
+                seen.len()
+            })
+            .collect()
+    }
+}
+
+/// Transitively collects the primary inputs feeding `node`.
+fn collect_inputs(net: &Netlist, node: NodeId, out: &mut std::collections::BTreeSet<NodeId>) {
+    use crate::netlist::NodeOp;
+    match net.op(node) {
+        NodeOp::Input => {
+            out.insert(node);
+        }
+        NodeOp::Const(_) => {}
+        NodeOp::And(ops) | NodeOp::Xor(ops) => {
+            for &o in ops {
+                collect_inputs(net, o, out);
+            }
+        }
+        NodeOp::Maj(a, b, c) => {
+            for &o in &[*a, *b, *c] {
+                collect_inputs(net, o, out);
+            }
+        }
+        NodeOp::Not(a) => collect_inputs(net, *a, out),
+        NodeOp::Lut { inputs, .. } => {
+            for &o in inputs {
+                collect_inputs(net, o, out);
+            }
+        }
+    }
+}
+
+/// Column heights of the naive Fig. 3 heap versus the regularized Fig. 4
+/// two-row form — the "before and after" the paper narrates.
+#[must_use]
+pub fn height_comparison(net: &mut Netlist) -> (Vec<usize>, Vec<usize>) {
+    let a = net.add_inputs(3);
+    let b = net.add_inputs(3);
+    let naive = BitHeap::multiplier(net, &a, &b);
+    let reg = RegularizedMul3::build(net, &a, &b);
+    (naive.heights(), reg.heap.heights())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regularized_3x3_is_exhaustively_correct() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let reg = RegularizedMul3::build(&mut net, &a, &b);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let assign = Netlist::assignment_from_ints(&[(&a, x), (&b, y)]);
+                assert_eq!(reg.heap.value(&net, &assign), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn regularized_heap_is_two_rows() {
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let reg = RegularizedMul3::build(&mut net, &a, &b);
+        assert!(
+            reg.heap.max_height() <= 2,
+            "Fig. 4 form feeds a two-input carry chain"
+        );
+        // Columns 1..=4 carry two rows; column 0 carries one bit.
+        assert_eq!(reg.heap.heights(), vec![1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn naive_heap_is_unbalanced_regularized_is_not() {
+        let mut net = Netlist::new();
+        let (naive, reg) = height_comparison(&mut net);
+        assert_eq!(naive, vec![1, 2, 3, 2, 1], "Fig. 3 heights");
+        assert_eq!(*reg.iter().max().expect("columns"), 2, "Fig. 4 heights");
+    }
+
+    #[test]
+    fn input_balance_matches_paper() {
+        // §III: after regularization "the routing and logic are now
+        // balanced, with 6 independent inputs over the 4 ALMs".
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let reg = RegularizedMul3::build(&mut net, &a, &b);
+        let counts = reg.column_input_counts(&net);
+        // The paper's claim is about the whole structure: 6 independent
+        // inputs (a0..a2, b0..b2) spread over the 4 ALMs, with no column
+        // needing more than one 6-input ALM's worth of fan-in.
+        assert!(
+            counts.iter().all(|&c| c <= 6),
+            "each column fits one ALM's fan-in, got {counts:?}"
+        );
+        let mut all = std::collections::BTreeSet::new();
+        for c in 0..reg.heap.width() {
+            for &bit in reg.heap.column(c) {
+                collect_inputs(&net, bit, &mut all);
+            }
+        }
+        assert_eq!(all.len(), 6, "6 independent inputs in total");
+        // Contrast with the naive Fig. 3 heap, whose widest column (c2)
+        // already needs 6 distinct inputs while columns 0 and 4 need 2 —
+        // the "grossly unbalanced" routing the paper describes. Here no
+        // column is starved: every column with bits reads >= 2 inputs.
+        assert!(counts.iter().all(|&c| c >= 2), "got {counts:?}");
+    }
+
+    #[test]
+    fn aux_functions_fit_one_fracturable_alm() {
+        // AUX1 and AUX2 both read only {a2, a1, b1, b0}: 4 shared inputs,
+        // two outputs — exactly one fracturable 6-LUT ALM (§III).
+        let mut net = Netlist::new();
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let reg = RegularizedMul3::build(&mut net, &a, &b);
+        let mut inputs = std::collections::BTreeSet::new();
+        // row1 columns 2 and 3 hold AUX1 and AUX2 ⊕ p12.
+        for &(c, bit) in &reg.row1 {
+            if c == 2 {
+                collect_inputs(&net, bit, &mut inputs);
+            }
+        }
+        assert_eq!(inputs.len(), 4, "AUX1 reads a2, a1, b1, b0");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for `nga-bitheap`: compression must preserve the
+//! value of *arbitrary* heaps, not just multiplier-shaped ones, and the
+//! packing flow must conserve work.
+
+use nga_bitheap::packing::{pack_first_fit, pack_fractal, Segment};
+use nga_bitheap::{compress::compress, BitHeap, Netlist, Strategy as CompressStrategy};
+use proptest::prelude::*;
+
+/// A random heap over up to 10 inputs: each entry places an AND of 1..3
+/// random inputs (or a constant) in a random column.
+fn arb_heap() -> impl Strategy<Value = (Vec<(u8, Vec<u8>)>, u64)> {
+    (
+        prop::collection::vec((0u8..12, prop::collection::vec(0u8..10, 1..3)), 1..40),
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compression_preserves_arbitrary_heap_values((entries, assign_bits) in arb_heap()) {
+        for strategy in [CompressStrategy::GreedyWallace, CompressStrategy::AlmSixThree] {
+            let mut net = Netlist::new();
+            let inputs = net.add_inputs(10);
+            let mut heap = BitHeap::new();
+            for (col, ops) in &entries {
+                let nodes: Vec<_> = ops.iter().map(|&i| inputs[i as usize]).collect();
+                let bit = net.and(&nodes);
+                heap.add_bit(*col as usize, bit);
+            }
+            let assign: Vec<bool> = (0..10).map(|i| (assign_bits >> i) & 1 == 1).collect();
+            let want = heap.value_wide(&net, &assign);
+            let compressed = compress(&mut net, &heap, strategy);
+            prop_assert_eq!(compressed.value(&net, &assign), want, "{:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn compression_reaches_two_rows((entries, _) in arb_heap()) {
+        let mut net = Netlist::new();
+        let inputs = net.add_inputs(10);
+        let mut heap = BitHeap::new();
+        for (col, ops) in &entries {
+            let nodes: Vec<_> = ops.iter().map(|&i| inputs[i as usize]).collect();
+            let bit = net.and(&nodes);
+            heap.add_bit(*col as usize, bit);
+        }
+        let compressed = compress(&mut net, &heap, CompressStrategy::GreedyWallace);
+        if let Some(last) = compressed.stats.stages.last() {
+            prop_assert!(last.max_height <= 2);
+        }
+    }
+
+    #[test]
+    fn packing_conserves_useful_positions(
+        lens in prop::collection::vec(1u32..=12, 1..60),
+        chain_len in 12u32..=32,
+    ) {
+        let segs: Vec<Segment> = lens.iter().map(|&len| Segment { len }).collect();
+        let total: u32 = lens.iter().sum();
+        let naive = pack_first_fit(&segs, chain_len);
+        prop_assert_eq!(naive.useful_positions, total);
+        let fractal = pack_fractal(&segs, chain_len, 8);
+        prop_assert_eq!(fractal.useful_positions, total);
+        prop_assert!(fractal.chains_used <= naive.chains_used);
+        // Capacity sanity: used chains can hold what was placed.
+        prop_assert!(fractal.positions_used <= fractal.chains_used * chain_len);
+    }
+
+    #[test]
+    fn heap_value_is_sum_of_column_contributions(
+        cols in prop::collection::vec(0usize..20, 1..30),
+        assign_bits in any::<u64>(),
+    ) {
+        // Heap of single input bits: value == Σ input_i · 2^col_i.
+        let mut net = Netlist::new();
+        let inputs = net.add_inputs(cols.len());
+        let mut heap = BitHeap::new();
+        for (i, &c) in cols.iter().enumerate() {
+            heap.add_bit(c, inputs[i]);
+        }
+        let assign: Vec<bool> = (0..cols.len()).map(|i| (assign_bits >> (i % 64)) & 1 == 1).collect();
+        let want: u128 = cols
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assign[*i])
+            .map(|(_, &c)| 1u128 << c)
+            .sum();
+        prop_assert_eq!(heap.value_wide(&net, &assign), want);
+    }
+}

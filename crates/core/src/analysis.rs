@@ -1,0 +1,201 @@
+//! Encoding-space analysis backing the paper's Fig. 7 (the posit ring
+//! plot): exception accounting, the "easy decode" arcs, and monotonicity.
+
+use crate::format::PositFormat;
+use crate::posit::{Posit, PositClass};
+
+/// How hard an encoding is to decode, per the Fig. 7 shading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeDifficulty {
+    /// Zero or NaR: detected by an OR tree over all bits but the sign
+    /// (§V: "no more than six logic levels even for 64-bit posits").
+    Exception,
+    /// Exactly two regime bits (`10` or `01` after the sign, terminated):
+    /// all fields sit at fixed positions and no leading-zero/one count is
+    /// needed — the shaded arcs of Fig. 7 that decode "as easily as
+    /// floats".
+    FixedField,
+    /// Longer regimes require a count-leading-zeros-or-ones step.
+    RunLength,
+}
+
+/// Classifies the decode path an encoding takes.
+#[must_use]
+pub fn decode_difficulty(p: Posit) -> DecodeDifficulty {
+    match p.class() {
+        PositClass::Zero | PositClass::Nar => DecodeDifficulty::Exception,
+        PositClass::Real => {
+            let fmt = p.format();
+            let n = fmt.n();
+            // Work on the magnitude (positive twin), like the decoder.
+            let mag = if p.sign() {
+                p.bits().wrapping_neg() & fmt.bits_mask()
+            } else {
+                p.bits()
+            };
+            let body = mag << (64 - (n - 1));
+            let first = body >> 63;
+            let run = if first == 1 {
+                body.leading_ones().min(n - 1)
+            } else {
+                body.leading_zeros().min(n - 1)
+            };
+            if run == 1 {
+                DecodeDifficulty::FixedField
+            } else {
+                DecodeDifficulty::RunLength
+            }
+        }
+    }
+}
+
+/// Census of a posit encoding ring, the counterpart of
+/// [`RingCensus`](https://docs.rs/nga-softfloat) for Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PositRingCensus {
+    /// The zero encoding (always 1).
+    pub zeros: u64,
+    /// The NaR encoding (always 1).
+    pub nars: u64,
+    /// Encodings decodable with fixed field positions (two regime bits).
+    pub fixed_field: u64,
+    /// Encodings needing a CLZ/CLO regime count.
+    pub run_length: u64,
+}
+
+impl PositRingCensus {
+    /// Walks every encoding of `fmt` and tallies the decode classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is wider than 26 bits.
+    #[must_use]
+    pub fn enumerate(fmt: PositFormat) -> Self {
+        assert!(fmt.n() <= 26, "census is for narrow edge formats");
+        let mut c = Self::default();
+        for bits in 0..=fmt.bits_mask() {
+            let p = Posit::from_bits(bits, fmt);
+            match decode_difficulty(p) {
+                DecodeDifficulty::Exception => {
+                    if p.is_zero() {
+                        c.zeros += 1;
+                    } else {
+                        c.nars += 1;
+                    }
+                }
+                DecodeDifficulty::FixedField => c.fixed_field += 1,
+                DecodeDifficulty::RunLength => c.run_length += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of encodings.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.zeros + self.nars + self.fixed_field + self.run_length
+    }
+
+    /// Fraction of encodings that are exceptions — 2 out of 2^n, versus
+    /// ~6 % for IEEE binary16 (§V).
+    #[must_use]
+    pub fn exception_fraction(&self) -> f64 {
+        (self.zeros + self.nars) as f64 / self.total() as f64
+    }
+
+    /// Fraction of encodings in the fixed-field ("easy decode") arcs.
+    #[must_use]
+    pub fn fixed_field_fraction(&self) -> f64 {
+        self.fixed_field as f64 / self.total() as f64
+    }
+}
+
+/// Decimal accuracy of a posit at encoding `bits`: `-log10` of the relative
+/// half-gap to its neighbours — the quantity plotted in Figs. 9 and 10.
+///
+/// Returns `None` for zero, NaR, and the extremes (which have one-sided
+/// gaps).
+#[must_use]
+pub fn decimal_accuracy(p: Posit) -> Option<f64> {
+    if p.class() != PositClass::Real {
+        return None;
+    }
+    let fmt = p.format();
+    let v = p.to_f64();
+    // Neighbours on the (monotone) encoding ring.
+    let up = Posit::from_bits((p.bits() + 1) & fmt.bits_mask(), fmt);
+    let down = Posit::from_bits(p.bits().wrapping_sub(1) & fmt.bits_mask(), fmt);
+    if up.is_nar() || down.is_nar() || up.is_zero() || down.is_zero() {
+        return None;
+    }
+    let gap = (up.to_f64() - down.to_f64()) / 2.0;
+    Some(-((gap / 2.0 / v.abs()).abs().log10()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P16: PositFormat = PositFormat::POSIT16;
+
+    #[test]
+    fn exactly_two_exception_encodings() {
+        let c = PositRingCensus::enumerate(P16);
+        assert_eq!(c.zeros, 1);
+        assert_eq!(c.nars, 1);
+        assert_eq!(c.total(), 65536);
+        assert!(c.exception_fraction() < 0.0001);
+    }
+
+    #[test]
+    fn fixed_field_arcs_cover_half_the_reals() {
+        // Regime `10`/`01` (run == 1): half of all real encodings have
+        // their second and third bits differing — two big arcs in Fig. 7.
+        let c = PositRingCensus::enumerate(P16);
+        let frac = c.fixed_field_fraction();
+        assert!((0.45..0.55).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn difficulty_examples() {
+        // 1.0 = 0 10 ... -> fixed field.
+        assert_eq!(
+            decode_difficulty(Posit::one(P16)),
+            DecodeDifficulty::FixedField
+        );
+        // maxpos = 0 111...1 -> run length.
+        assert_eq!(
+            decode_difficulty(Posit::maxpos(P16)),
+            DecodeDifficulty::RunLength
+        );
+        assert_eq!(
+            decode_difficulty(Posit::nar(P16)),
+            DecodeDifficulty::Exception
+        );
+    }
+
+    #[test]
+    fn accuracy_peaks_near_one() {
+        // Fig. 9: posit accuracy is an isosceles triangle centred at
+        // magnitude 1 (log-magnitude 0).
+        let near_one = decimal_accuracy(Posit::from_f64(1.1, P16)).unwrap();
+        let at_hundred = decimal_accuracy(Posit::from_f64(100.0, P16)).unwrap();
+        let at_big = decimal_accuracy(Posit::from_f64(1.0e6, P16)).unwrap();
+        assert!(near_one > at_hundred);
+        assert!(at_hundred > at_big);
+        // Symmetry: accuracy at x approximately equals accuracy at 1/x.
+        let lo = decimal_accuracy(Posit::from_f64(0.01, P16)).unwrap();
+        assert!((lo - at_hundred).abs() < 0.35, "lo {lo} hi {at_hundred}");
+    }
+
+    #[test]
+    fn posit16_beats_float16_accuracy_near_one() {
+        // §V Fig. 9: "for the most common values in the range of about
+        // 0.01 to 100, posits have higher accuracy than IEEE floats".
+        // Posit16 has 12 fraction bits at unity vs binary16's 10.
+        let acc = decimal_accuracy(Posit::from_f64(1.5, P16)).unwrap();
+        // binary16 relative half-gap at 1.5: 2^-11 / 1.5.
+        let f16_acc = -((2.0f64).powi(-11) / 1.5 / 2.0).log10();
+        assert!(acc > f16_acc, "posit {acc} vs float {f16_acc}");
+    }
+}

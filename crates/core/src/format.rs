@@ -1,0 +1,174 @@
+use std::fmt;
+
+/// A posit format: total width `n` and exponent-field width `es`.
+///
+/// A posit bit string is, after the sign bit (handled by two's complement,
+/// not sign-magnitude): a run-length-encoded *regime*, `es` exponent bits,
+/// and the remaining bits of fraction. The scale factor contributed by a
+/// regime of value `k` is `useed^k` with `useed = 2^(2^es)`.
+///
+/// The presets follow Gustafson & Yonemoto (2017), which the paper builds
+/// on: `posit8 = {8,0}`, `posit16 = {16,1}` (dynamic range `2^-28..2^28`,
+/// §V), `posit32 = {32,2}`.
+///
+/// ```
+/// use nga_core::PositFormat;
+/// let p16 = PositFormat::POSIT16;
+/// assert_eq!(p16.max_scale(), 28);
+/// assert_eq!(p16.maxpos(), (2.0f64).powi(28));
+/// assert_eq!(p16.minpos(), (2.0f64).powi(-28));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PositFormat {
+    n: u32,
+    es: u32,
+}
+
+impl PositFormat {
+    /// The classic 8-bit posit, `{8, 0}`.
+    pub const POSIT8: Self = Self { n: 8, es: 0 };
+    /// The classic 16-bit posit, `{16, 1}`.
+    pub const POSIT16: Self = Self { n: 16, es: 1 };
+    /// The classic 32-bit posit, `{32, 2}`.
+    pub const POSIT32: Self = Self { n: 32, es: 2 };
+    /// The Posit Standard (2022) 8-bit format, `{8, 2}` (the later
+    /// standard fixed `es = 2` for every width).
+    pub const STD_POSIT8: Self = Self { n: 8, es: 2 };
+    /// The Posit Standard (2022) 16-bit format, `{16, 2}`.
+    pub const STD_POSIT16: Self = Self { n: 16, es: 2 };
+    /// The Posit Standard (2022) 32-bit format, `{32, 2}` (same as the
+    /// classic [`Self::POSIT32`]).
+    pub const STD_POSIT32: Self = Self { n: 32, es: 2 };
+
+    /// Creates a custom format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `3..=32` or `es` is not in `0..=4`.
+    #[must_use]
+    pub fn new(n: u32, es: u32) -> Self {
+        assert!((3..=32).contains(&n), "posit width {n} out of range 3..=32");
+        assert!(es <= 4, "es {es} out of range 0..=4");
+        Self { n, es }
+    }
+
+    /// Total width in bits.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Exponent field width.
+    #[must_use]
+    pub fn es(&self) -> u32 {
+        self.es
+    }
+
+    /// `useed = 2^(2^es)`, the per-regime-step scale factor.
+    #[must_use]
+    pub fn useed_log2(&self) -> i32 {
+        1 << self.es
+    }
+
+    /// The largest binary scale: `maxpos = 2^max_scale`, reached by the
+    /// all-ones regime. Equals `(n-2) * 2^es`.
+    #[must_use]
+    pub fn max_scale(&self) -> i32 {
+        (self.n as i32 - 2) * self.useed_log2()
+    }
+
+    /// Largest representable value, `2^max_scale`.
+    #[must_use]
+    pub fn maxpos(&self) -> f64 {
+        (self.max_scale() as f64).exp2()
+    }
+
+    /// Smallest positive representable value, `2^-max_scale`.
+    #[must_use]
+    pub fn minpos(&self) -> f64 {
+        (-self.max_scale() as f64).exp2()
+    }
+
+    /// Mask covering the `n` storage bits.
+    #[must_use]
+    pub fn bits_mask(&self) -> u64 {
+        if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    /// The NaR (Not-a-Real) encoding: `1 0…0` (the only bit pattern with no
+    /// reciprocal twin on the ring, §V Fig. 7).
+    #[must_use]
+    pub fn nar_bits(&self) -> u64 {
+        1u64 << (self.n - 1)
+    }
+
+    /// Dynamic range in decimal orders of magnitude (`minpos` to `maxpos`).
+    ///
+    /// §V: "almost 17 orders of magnitude" for posit16 — `log10(2^56) ≈
+    /// 16.86`.
+    #[must_use]
+    pub fn dynamic_range_decades(&self) -> f64 {
+        2.0 * self.max_scale() as f64 * std::f64::consts::LOG10_2
+    }
+
+    /// Number of fraction bits available at scale 0 (regime `0b10`): the
+    /// "easy decode" arc of Fig. 7 where exactly two regime bits are used.
+    #[must_use]
+    pub fn frac_bits_at_unity(&self) -> u32 {
+        (self.n - 1).saturating_sub(2 + self.es)
+    }
+}
+
+impl fmt::Display for PositFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "posit{{{},{}}}", self.n, self.es)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_presets() {
+        assert_eq!(PositFormat::POSIT8.max_scale(), 6);
+        assert_eq!(PositFormat::POSIT16.max_scale(), 28);
+        assert_eq!(PositFormat::POSIT32.max_scale(), 120);
+    }
+
+    #[test]
+    fn posit16_dynamic_range_is_almost_17_decades() {
+        let d = PositFormat::POSIT16.dynamic_range_decades();
+        assert!((16.5..17.0).contains(&d), "paper: ~17 decades, got {d}");
+    }
+
+    #[test]
+    fn nar_is_sign_bit_only() {
+        assert_eq!(PositFormat::POSIT8.nar_bits(), 0x80);
+        assert_eq!(PositFormat::POSIT16.nar_bits(), 0x8000);
+    }
+
+    #[test]
+    fn useed_scaling() {
+        assert_eq!(PositFormat::POSIT8.useed_log2(), 1);
+        assert_eq!(PositFormat::POSIT16.useed_log2(), 2);
+        assert_eq!(PositFormat::POSIT32.useed_log2(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_wide_formats() {
+        let _ = PositFormat::new(33, 2);
+    }
+
+    #[test]
+    fn unity_fraction_bits() {
+        // posit16: 15 bits after sign, minus 2 regime minus 1 exponent = 12.
+        assert_eq!(PositFormat::POSIT16.frac_bits_at_unity(), 12);
+        assert_eq!(PositFormat::POSIT8.frac_bits_at_unity(), 5);
+    }
+}

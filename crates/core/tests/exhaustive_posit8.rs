@@ -1,0 +1,147 @@
+//! Exhaustive verification of the remaining posit8 operations against the
+//! independent bracketing oracle (add/mul are covered in the unit tests).
+
+use nga_core::{Posit, PositFormat};
+
+const P8: PositFormat = PositFormat::POSIT8;
+
+/// Independent rounding oracle (encoding-midpoint bracketing, see the
+/// arithmetic unit tests for the derivation).
+fn nearest_posit(v: f64, fmt: PositFormat) -> Posit {
+    assert!(v.is_finite());
+    if v == 0.0 {
+        return Posit::zero(fmt);
+    }
+    let negative = v < 0.0;
+    let v = v.abs();
+    let signed = |p: Posit| if negative { p.neg() } else { p };
+    if v >= Posit::maxpos(fmt).to_f64() {
+        return signed(Posit::maxpos(fmt));
+    }
+    if v <= Posit::minpos(fmt).to_f64() {
+        return signed(Posit::minpos(fmt));
+    }
+    let (mut lo, mut hi) = (1u64, fmt.nar_bits() - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if Posit::from_bits(mid, fmt).to_f64() < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let above = Posit::from_bits(lo, fmt);
+    if above.to_f64() == v {
+        return signed(above);
+    }
+    let below = Posit::from_bits(lo - 1, fmt);
+    let wide = PositFormat::new(fmt.n() + 1, fmt.es());
+    let mid = Posit::from_bits((below.bits() << 1) | 1, wide).to_f64();
+    let nearest = if v < mid {
+        below
+    } else if v > mid {
+        above
+    } else if below.bits() & 1 == 0 {
+        below
+    } else {
+        above
+    };
+    signed(nearest)
+}
+
+#[test]
+fn posit8_div_matches_oracle_exhaustively() {
+    for a in 0..=255u64 {
+        for b in 0..=255u64 {
+            let pa = Posit::from_bits(a, P8);
+            let pb = Posit::from_bits(b, P8);
+            if pa.is_nar() || pb.is_nar() || pb.is_zero() {
+                continue;
+            }
+            let got = pa.div(pb);
+            // posit8 values are exact in f64 and the quotient's f64
+            // rounding (53 bits) cannot cross a posit8 decision boundary
+            // (max significand 6 bits; 53 >= 2*6+2).
+            let want = nearest_posit(pa.to_f64() / pb.to_f64(), P8);
+            assert_eq!(got.bits(), want.bits(), "0x{a:02x} / 0x{b:02x}");
+        }
+    }
+}
+
+#[test]
+fn posit8_sqrt_matches_oracle_exhaustively() {
+    for a in 0..=255u64 {
+        let pa = Posit::from_bits(a, P8);
+        if pa.is_nar() || pa.sign() {
+            continue;
+        }
+        let got = pa.sqrt();
+        let want = nearest_posit(pa.to_f64().sqrt(), P8);
+        assert_eq!(got.bits(), want.bits(), "sqrt 0x{a:02x}");
+    }
+}
+
+#[test]
+fn posit8_recip_matches_oracle_exhaustively() {
+    for a in 1..=255u64 {
+        let pa = Posit::from_bits(a, P8);
+        if pa.is_nar() {
+            continue;
+        }
+        let got = pa.recip();
+        let want = nearest_posit(1.0 / pa.to_f64(), P8);
+        assert_eq!(got.bits(), want.bits(), "1/0x{a:02x}");
+    }
+}
+
+#[test]
+fn posit8_sub_matches_oracle_exhaustively() {
+    for a in 0..=255u64 {
+        for b in 0..=255u64 {
+            let pa = Posit::from_bits(a, P8);
+            let pb = Posit::from_bits(b, P8);
+            if pa.is_nar() || pb.is_nar() {
+                continue;
+            }
+            let got = pa.sub(pb);
+            let want = nearest_posit(pa.to_f64() - pb.to_f64(), P8);
+            assert_eq!(got.bits(), want.bits(), "0x{a:02x} - 0x{b:02x}");
+        }
+    }
+}
+
+#[test]
+fn posit8_quire_three_term_sums_are_exact() {
+    // Every (a, b, c): quire(a*1 + b*1 + c*1) equals the correctly rounded
+    // exact three-term sum (computed in i128 fixed point).
+    use nga_core::Quire;
+    let one = Posit::one(P8);
+    for a in (0..=255u64).step_by(3) {
+        for b in (0..=255u64).step_by(5) {
+            for c in [0u64, 0x23, 0x40, 0x81, 0xD0] {
+                let (pa, pb, pc) = (
+                    Posit::from_bits(a, P8),
+                    Posit::from_bits(b, P8),
+                    Posit::from_bits(c, P8),
+                );
+                if pa.is_nar() || pb.is_nar() || pc.is_nar() {
+                    continue;
+                }
+                let mut q = Quire::new(P8);
+                q.add_product(pa, one);
+                q.add_product(pb, one);
+                q.add_product(pc, one);
+                let exact: i128 = [pa, pb, pc]
+                    .iter()
+                    .map(|p| p.to_fixed_parts().expect("real").0)
+                    .sum();
+                let want = Posit::from_parts(exact < 0, exact.unsigned_abs(), -6, P8);
+                assert_eq!(
+                    q.to_posit().bits(),
+                    want.bits(),
+                    "0x{a:02x}+0x{b:02x}+0x{c:02x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The posit machinery must be correct for *every* `{n, es}` format, not
+//! just the three presets: exhaustive round-trips and arithmetic oracles
+//! over a grid of formats, plus proptests over random formats.
+
+use nga_core::{Posit, PositFormat};
+use proptest::prelude::*;
+
+/// Exhaustive decode/encode round trip for every narrow format.
+#[test]
+fn round_trip_every_format_up_to_12_bits() {
+    for n in 3..=12u32 {
+        for es in 0..=4u32 {
+            let fmt = PositFormat::new(n, es);
+            for bits in 0..(1u64 << n) {
+                let p = Posit::from_bits(bits, fmt);
+                if p.is_nar() {
+                    continue;
+                }
+                let q = Posit::from_f64(p.to_f64(), fmt);
+                assert_eq!(p.bits(), q.bits(), "{fmt} bits 0x{bits:x}");
+            }
+        }
+    }
+}
+
+/// Monotonicity of the encoding ring for every narrow format.
+#[test]
+fn monotone_every_format_up_to_12_bits() {
+    for n in 3..=12u32 {
+        for es in [0u32, 1, 2, 4] {
+            let fmt = PositFormat::new(n, es);
+            let count = 1u64 << n;
+            let mut prev = f64::NEG_INFINITY;
+            for i in 1..count {
+                let bits = (fmt.nar_bits() + i) & fmt.bits_mask();
+                let v = Posit::from_bits(bits, fmt).to_f64();
+                assert!(v > prev, "{fmt} at offset {i}");
+                prev = v;
+            }
+        }
+    }
+}
+
+/// The standard-2022 presets have the right ranges.
+#[test]
+fn std_2022_presets() {
+    assert_eq!(PositFormat::STD_POSIT8.max_scale(), 24);
+    assert_eq!(PositFormat::STD_POSIT16.max_scale(), 56);
+    assert_eq!(
+        PositFormat::STD_POSIT32.max_scale(),
+        PositFormat::POSIT32.max_scale()
+    );
+    // Standard posit8 reaches 2^24 — vastly more range than classic {8,0}.
+    assert_eq!(
+        Posit::maxpos(PositFormat::STD_POSIT8).to_f64(),
+        (2.0f64).powi(24)
+    );
+}
+
+/// Exhaustive multiplication oracle on the standard 8-bit format
+/// (es = 2 exercises multi-bit exponent fields everywhere).
+#[test]
+fn std_posit8_mul_is_correctly_rounded() {
+    let fmt = PositFormat::STD_POSIT8;
+    let wide = PositFormat::new(9, 2);
+    let nearest = |v: f64| -> Posit {
+        // Value-bracketing oracle with the (n+1)-bit encoding midpoint.
+        assert!(v.is_finite());
+        if v == 0.0 {
+            return Posit::zero(fmt);
+        }
+        let negative = v < 0.0;
+        let v = v.abs();
+        let signed = |p: Posit| if negative { p.neg() } else { p };
+        if v >= Posit::maxpos(fmt).to_f64() {
+            return signed(Posit::maxpos(fmt));
+        }
+        if v <= Posit::minpos(fmt).to_f64() {
+            return signed(Posit::minpos(fmt));
+        }
+        let (mut lo, mut hi) = (1u64, fmt.nar_bits() - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if Posit::from_bits(mid, fmt).to_f64() < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let above = Posit::from_bits(lo, fmt);
+        if above.to_f64() == v {
+            return signed(above);
+        }
+        let below = Posit::from_bits(lo - 1, fmt);
+        let mid = Posit::from_bits((below.bits() << 1) | 1, wide).to_f64();
+        let nearest = if v < mid {
+            below
+        } else if v > mid {
+            above
+        } else if below.bits() & 1 == 0 {
+            below
+        } else {
+            above
+        };
+        signed(nearest)
+    };
+    for a in 0..=255u64 {
+        for b in 0..=255u64 {
+            let pa = Posit::from_bits(a, fmt);
+            let pb = Posit::from_bits(b, fmt);
+            if pa.is_nar() || pb.is_nar() {
+                continue;
+            }
+            let got = pa.mul(pb);
+            let want = nearest(pa.to_f64() * pb.to_f64());
+            assert_eq!(got.bits(), want.bits(), "0x{a:02x} * 0x{b:02x}");
+        }
+    }
+}
+
+fn arb_format() -> impl Strategy<Value = PositFormat> {
+    (3u32..=20, 0u32..=3).prop_map(|(n, es)| PositFormat::new(n, es))
+}
+
+proptest! {
+    #[test]
+    fn generic_round_trip((fmt, frac) in arb_format().prop_flat_map(|f| {
+        let mask = f.bits_mask();
+        (Just(f), 0u64..=mask)
+    })) {
+        let p = Posit::from_bits(frac, fmt);
+        prop_assume!(!p.is_nar());
+        let q = Posit::from_f64(p.to_f64(), fmt);
+        prop_assert_eq!(p.bits(), q.bits());
+    }
+
+    #[test]
+    fn generic_ordering((fmt, a, b) in arb_format().prop_flat_map(|f| {
+        let mask = f.bits_mask();
+        (Just(f), 0u64..=mask, 0u64..=mask)
+    })) {
+        let pa = Posit::from_bits(a, fmt);
+        let pb = Posit::from_bits(b, fmt);
+        prop_assume!(!pa.is_nar() && !pb.is_nar());
+        let int_order = pa.as_ordered_int().cmp(&pb.as_ordered_int());
+        let val_order = pa.to_f64().partial_cmp(&pb.to_f64()).expect("reals");
+        prop_assert_eq!(int_order, val_order);
+    }
+
+    #[test]
+    fn generic_mul_never_invents_nar((fmt, a, b) in arb_format().prop_flat_map(|f| {
+        let mask = f.bits_mask();
+        (Just(f), 0u64..=mask, 0u64..=mask)
+    })) {
+        let pa = Posit::from_bits(a, fmt);
+        let pb = Posit::from_bits(b, fmt);
+        prop_assume!(!pa.is_nar() && !pb.is_nar());
+        prop_assert!(!pa.mul(pb).is_nar());
+        prop_assert!(!pa.add(pb).is_nar());
+    }
+
+    #[test]
+    fn generic_conversion_widening_is_lossless((fmt, bits) in arb_format().prop_flat_map(|f| {
+        let mask = f.bits_mask();
+        (Just(f), 0u64..=mask)
+    })) {
+        prop_assume!(fmt.n() <= 16);
+        let wide = PositFormat::new(fmt.n() + 12, fmt.es());
+        let p = Posit::from_bits(bits, fmt);
+        prop_assume!(!p.is_nar());
+        let w = p.convert(wide);
+        prop_assert_eq!(w.to_f64(), p.to_f64(), "widening by 12 bits is exact");
+        let back = w.convert(fmt);
+        prop_assert_eq!(back.bits(), p.bits());
+    }
+}

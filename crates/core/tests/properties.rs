@@ -1,0 +1,165 @@
+//! Property-based tests for `nga-core`: the §V claims as invariants.
+
+use nga_core::{Posit, PositFormat, Quire};
+use proptest::prelude::*;
+
+fn arb_p16() -> impl Strategy<Value = Posit> {
+    (0u64..=0xFFFF).prop_map(|b| Posit::from_bits(b, PositFormat::POSIT16))
+}
+
+fn arb_p8() -> impl Strategy<Value = Posit> {
+    (0u64..=0xFF).prop_map(|b| Posit::from_bits(b, PositFormat::POSIT8))
+}
+
+proptest! {
+    #[test]
+    fn decode_encode_round_trip(p in arb_p16()) {
+        prop_assume!(!p.is_nar());
+        let q = Posit::from_f64(p.to_f64(), PositFormat::POSIT16);
+        prop_assert_eq!(p.bits(), q.bits());
+    }
+
+    #[test]
+    fn ordering_is_integer_ordering(a in arb_p16(), b in arb_p16()) {
+        prop_assume!(!a.is_nar() && !b.is_nar());
+        let int_order = a.as_ordered_int().cmp(&b.as_ordered_int());
+        let val_order = a.to_f64().partial_cmp(&b.to_f64()).expect("reals");
+        prop_assert_eq!(int_order, val_order);
+    }
+
+    #[test]
+    fn negation_is_exact(p in arb_p16()) {
+        prop_assume!(!p.is_nar());
+        prop_assert_eq!(p.neg().to_f64(), -p.to_f64());
+        prop_assert_eq!(p.neg().neg().bits(), p.bits());
+    }
+
+    #[test]
+    fn add_commutes(a in arb_p16(), b in arb_p16()) {
+        prop_assert_eq!(a.add(b).bits(), b.add(a).bits());
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_p16(), b in arb_p16()) {
+        prop_assert_eq!(a.mul(b).bits(), b.mul(a).bits());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(p in arb_p16()) {
+        let one = Posit::one(PositFormat::POSIT16);
+        prop_assert_eq!(p.mul(one).bits(), p.bits());
+    }
+
+    #[test]
+    fn add_zero_is_identity(p in arb_p16()) {
+        let zero = Posit::zero(PositFormat::POSIT16);
+        prop_assert_eq!(p.add(zero).bits(), p.bits());
+    }
+
+    #[test]
+    fn no_overflow_to_nar(a in arb_p16(), b in arb_p16()) {
+        prop_assume!(!a.is_nar() && !b.is_nar());
+        // Posits saturate; only NaR inputs or 0-division make NaR.
+        prop_assert!(!a.add(b).is_nar());
+        prop_assert!(!a.mul(b).is_nar());
+        if !b.is_zero() {
+            prop_assert!(!a.div(b).is_nar());
+        }
+    }
+
+    #[test]
+    fn no_underflow_to_zero(a in arb_p16(), b in arb_p16()) {
+        prop_assume!(!a.is_nar() && !b.is_nar());
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        prop_assert!(!a.mul(b).is_zero(), "nonzero product never rounds to zero");
+        prop_assert!(!a.div(b).is_zero(), "nonzero quotient never rounds to zero");
+    }
+
+    #[test]
+    fn rounding_error_within_gap(x in -1.0e6f64..1.0e6) {
+        prop_assume!(x != 0.0);
+        let p = Posit::from_f64(x, PositFormat::POSIT16);
+        let v = p.to_f64();
+        // The rounded value's relative error is bounded by the local gap.
+        let up = Posit::from_bits(p.bits() + 1, PositFormat::POSIT16);
+        let down = Posit::from_bits(p.bits().wrapping_sub(1) & 0xFFFF, PositFormat::POSIT16);
+        if !up.is_nar() && !down.is_nar() {
+            prop_assert!(down.to_f64() <= x && x <= up.to_f64(),
+                "rounded {v} not adjacent to {x}");
+        }
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in arb_p8(), b in arb_p8()) {
+        prop_assert_eq!(a.sub(b).bits(), a.add(b.neg()).bits());
+    }
+
+    #[test]
+    fn abs_is_nonnegative(p in arb_p16()) {
+        prop_assume!(!p.is_nar());
+        prop_assert!(p.abs().to_f64() >= 0.0);
+        prop_assert_eq!(p.abs().to_f64(), p.to_f64().abs());
+    }
+
+    #[test]
+    fn fixed_expansion_is_exact(p in arb_p16()) {
+        prop_assume!(!p.is_nar());
+        let (raw, fb) = p.to_fixed_parts().expect("real");
+        prop_assert_eq!(raw as f64 * (-(fb as f64)).exp2(), p.to_f64());
+        // §V: fits in 58 bits.
+        prop_assert!(raw >= -(1i128 << 57) && raw < (1i128 << 57));
+    }
+
+    #[test]
+    fn quire_sum_matches_sequential_exact_sum(values in prop::collection::vec(0u64..=0xFFFF, 1..40)) {
+        let fmt = PositFormat::POSIT16;
+        let posits: Vec<Posit> = values
+            .iter()
+            .map(|&b| Posit::from_bits(b, fmt))
+            .filter(|p| !p.is_nar())
+            .collect();
+        let mut q = Quire::new(fmt);
+        // Exact oracle: every posit16 is raw * 2^-28 with |raw| < 2^57, so
+        // an i128 accumulator holds any sum of 40 of them exactly.
+        let mut exact_raw: i128 = 0;
+        for p in &posits {
+            q.add_posit(*p);
+            let (raw, fb) = p.to_fixed_parts().expect("real");
+            assert_eq!(fb, 28);
+            exact_raw += raw;
+        }
+        let want = Posit::from_parts(exact_raw < 0, exact_raw.unsigned_abs(), -28, fmt);
+        prop_assert_eq!(q.to_posit().bits(), want.bits());
+    }
+
+    #[test]
+    fn quire_product_sum_matches_exact_oracle(pairs in prop::collection::vec((0u64..=0xFF, 0u64..=0xFF), 1..40)) {
+        // posit8: every value is raw * 2^-6 with |raw| < 2^13, so products
+        // are raw_a*raw_b * 2^-12 and an i128 accumulator is exact.
+        let fmt = PositFormat::POSIT8;
+        let mut q = Quire::new(fmt);
+        let mut exact: i128 = 0;
+        for &(a, b) in &pairs {
+            let pa = Posit::from_bits(a, fmt);
+            let pb = Posit::from_bits(b, fmt);
+            if pa.is_nar() || pb.is_nar() {
+                continue;
+            }
+            q.add_product(pa, pb);
+            let (ra, fa) = pa.to_fixed_parts().expect("real");
+            let (rb, fb) = pb.to_fixed_parts().expect("real");
+            assert_eq!(fa + fb, 12);
+            exact += ra * rb;
+        }
+        let want = Posit::from_parts(exact < 0, exact.unsigned_abs(), -12, fmt);
+        prop_assert_eq!(q.to_posit().bits(), want.bits());
+    }
+
+    #[test]
+    fn convert_posit32_to_16_is_single_rounding(x in -1.0e8f64..1.0e8) {
+        let p32 = Posit::from_f64(x, PositFormat::POSIT32);
+        let via = p32.convert(PositFormat::POSIT16);
+        let direct = Posit::from_f64(p32.to_f64(), PositFormat::POSIT16);
+        prop_assert_eq!(via.bits(), direct.bits());
+    }
+}

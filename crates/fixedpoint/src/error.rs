@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::format::FixedFormat;
+
+/// Error type for fixed-point construction and arithmetic.
+///
+/// Every fallible operation in this crate reports through this enum so that
+/// datapath generators can distinguish "the format is malformed" from "the
+/// value does not fit", which drive different design decisions (widen the
+/// format vs. saturate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FixedError {
+    /// The requested format has zero total width or exceeds the supported
+    /// maximum width (see [`FixedFormat::MAX_BITS`]).
+    InvalidFormat {
+        /// Total width that was requested.
+        bits: u32,
+    },
+    /// A value overflowed the destination format under
+    /// [`OverflowMode::Error`](crate::OverflowMode::Error).
+    Overflow {
+        /// Destination format.
+        format: FixedFormat,
+        /// The out-of-range raw integer (in ulps of `format`).
+        raw: i128,
+    },
+    /// Two operands with different formats were combined by an operation that
+    /// requires identical formats.
+    FormatMismatch {
+        /// Format of the left operand.
+        lhs: FixedFormat,
+        /// Format of the right operand.
+        rhs: FixedFormat,
+    },
+    /// A non-finite `f64` (NaN or infinity) was converted to fixed point.
+    NonFinite,
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::InvalidFormat { bits } => {
+                write!(f, "invalid fixed-point format: {bits} total bits")
+            }
+            FixedError::Overflow { format, raw } => {
+                write!(f, "value {raw} ulps overflows format {format}")
+            }
+            FixedError::FormatMismatch { lhs, rhs } => {
+                write!(f, "format mismatch: {lhs} vs {rhs}")
+            }
+            FixedError::NonFinite => write!(f, "non-finite value has no fixed-point encoding"),
+        }
+    }
+}
+
+impl Error for FixedError {}

@@ -1,0 +1,308 @@
+use std::fmt;
+
+use crate::error::FixedError;
+
+/// How values that need fewer fraction bits than they have are rounded.
+///
+/// The paper's §II-B argues that the rounding of every truncation point in a
+/// datapath is a design parameter; the generators in `nga-funcgen` sweep over
+/// these modes when exploring cost/accuracy trade-offs (a truncation is one
+/// ALM row cheaper than a round-to-nearest on FPGA targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Round toward zero (drop bits after taking two's-complement magnitude).
+    Truncate,
+    /// Round toward negative infinity (drop two's-complement bits).
+    Floor,
+    /// Round to nearest, ties to even (IEEE 754 default; also the posit rule).
+    #[default]
+    NearestEven,
+    /// Round to nearest, ties away from zero (cheapest nearest rounding in
+    /// hardware: add half an ulp and truncate).
+    NearestTiesAway,
+}
+
+/// What happens when a result exceeds the representable range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Two's-complement wrap-around (what a plain hardware adder does).
+    Wrap,
+    /// Clamp to the most positive / most negative representable value
+    /// (one extra comparator level in hardware, standard in DSP).
+    #[default]
+    Saturate,
+    /// Report [`FixedError::Overflow`]; used by generators to detect that a
+    /// chosen intermediate format is too narrow.
+    Error,
+}
+
+/// A fixed-point format: signedness plus integer and fraction bit counts.
+///
+/// A signed `FixedFormat` with `int_bits = m` and `frac_bits = f` represents
+/// multiples of `2^-f` in `[-2^(m-1), 2^(m-1))` — the classic `Qm.f` format
+/// (the sign bit is counted inside `m`, matching hardware conventions where
+/// total width is `m + f`). An unsigned format covers `[0, 2^m)`.
+///
+/// ```
+/// use nga_fixed::FixedFormat;
+/// # fn main() -> Result<(), nga_fixed::FixedError> {
+/// let q = FixedFormat::signed(2, 6)?; // Q2.6, 8 bits total
+/// assert_eq!(q.total_bits(), 8);
+/// assert_eq!(q.max_value(), 2.0 - q.ulp());
+/// assert_eq!(q.min_value(), -2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    signed: bool,
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl FixedFormat {
+    /// Maximum supported total width in bits.
+    ///
+    /// 96 bits is enough for every datapath in the paper (the widest is the
+    /// 58-bit fixed expansion of a 16-bit posit plus quire-style headroom)
+    /// while leaving `i128` room to hold any product of two operands.
+    pub const MAX_BITS: u32 = 96;
+
+    /// Creates a signed format with `int_bits` integer bits (sign included)
+    /// and `frac_bits` fraction bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if the total width is zero,
+    /// exceeds [`Self::MAX_BITS`], or `int_bits` is zero (a signed format
+    /// needs at least the sign bit).
+    pub fn signed(int_bits: u32, frac_bits: u32) -> Result<Self, FixedError> {
+        let bits = int_bits + frac_bits;
+        if int_bits == 0 || bits == 0 || bits > Self::MAX_BITS {
+            return Err(FixedError::InvalidFormat { bits });
+        }
+        Ok(Self {
+            signed: true,
+            int_bits,
+            frac_bits,
+        })
+    }
+
+    /// Creates an unsigned format with `int_bits` integer bits and
+    /// `frac_bits` fraction bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if the total width is zero or
+    /// exceeds [`Self::MAX_BITS`].
+    pub fn unsigned(int_bits: u32, frac_bits: u32) -> Result<Self, FixedError> {
+        let bits = int_bits + frac_bits;
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(FixedError::InvalidFormat { bits });
+        }
+        Ok(Self {
+            signed: false,
+            int_bits,
+            frac_bits,
+        })
+    }
+
+    /// Whether the format is signed (two's complement).
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Number of integer bits (including the sign bit for signed formats).
+    #[must_use]
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fraction bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage width in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// The weight of one least-significant bit, `2^-frac_bits`.
+    #[must_use]
+    pub fn ulp(&self) -> f64 {
+        (-(self.frac_bits as f64)).exp2()
+    }
+
+    /// Largest representable raw integer (in ulps).
+    #[must_use]
+    pub fn max_raw(&self) -> i128 {
+        if self.signed {
+            (1i128 << (self.total_bits() - 1)) - 1
+        } else {
+            (1i128 << self.total_bits()) - 1
+        }
+    }
+
+    /// Smallest representable raw integer (in ulps).
+    #[must_use]
+    pub fn min_raw(&self) -> i128 {
+        if self.signed {
+            -(1i128 << (self.total_bits() - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable real value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.ulp()
+    }
+
+    /// Smallest representable real value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.min_raw() as f64 * self.ulp()
+    }
+
+    /// Checks whether `raw` (in ulps) is representable in this format.
+    #[must_use]
+    pub fn contains_raw(&self, raw: i128) -> bool {
+        raw >= self.min_raw() && raw <= self.max_raw()
+    }
+
+    /// The exact product format: multiplying `self` by `rhs` with no
+    /// information loss requires this format (§II-B: "no component should be
+    /// designed to be more accurate than it can express on its output" — the
+    /// exact product is where rounding decisions start from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if the exact product exceeds
+    /// [`Self::MAX_BITS`].
+    pub fn product_format(&self, rhs: &Self) -> Result<Self, FixedError> {
+        let signed = self.signed || rhs.signed;
+        let int_bits = self.int_bits + rhs.int_bits;
+        let frac_bits = self.frac_bits + rhs.frac_bits;
+        if signed {
+            Self::signed(int_bits, frac_bits)
+        } else {
+            Self::unsigned(int_bits, frac_bits)
+        }
+    }
+
+    /// The exact sum format: one extra integer bit over the wider operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if the result exceeds
+    /// [`Self::MAX_BITS`].
+    pub fn sum_format(&self, rhs: &Self) -> Result<Self, FixedError> {
+        let signed = self.signed || rhs.signed;
+        let int_bits = self.int_bits.max(rhs.int_bits) + 1;
+        let frac_bits = self.frac_bits.max(rhs.frac_bits);
+        if signed {
+            Self::signed(int_bits, frac_bits)
+        } else {
+            Self::unsigned(int_bits, frac_bits)
+        }
+    }
+
+    /// Decimal accuracy of the format at a representable magnitude `x`:
+    /// `-log10(ulp / |x|)` capped at the format's width, or the paper's
+    /// Fig. 9 "triangular ramp". Returns `None` when `x` is outside the
+    /// representable range (underflow-to-zero or overflow).
+    #[must_use]
+    pub fn decimal_accuracy_at(&self, x: f64) -> Option<f64> {
+        let ax = x.abs();
+        if !(ax.is_finite()) || ax < self.ulp() || ax > self.max_value() {
+            return None;
+        }
+        // Relative error of rounding to the nearest multiple of one ulp.
+        Some(-(self.ulp() / 2.0 / ax).log10())
+    }
+}
+
+impl fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}Q{}.{}",
+            if self.signed { "" } else { "u" },
+            self.int_bits,
+            self.frac_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_format_ranges() {
+        let q44 = FixedFormat::signed(4, 4).unwrap();
+        assert_eq!(q44.total_bits(), 8);
+        assert_eq!(q44.max_raw(), 127);
+        assert_eq!(q44.min_raw(), -128);
+        assert_eq!(q44.ulp(), 0.0625);
+        assert_eq!(q44.max_value(), 7.9375);
+        assert_eq!(q44.min_value(), -8.0);
+    }
+
+    #[test]
+    fn unsigned_ranges() {
+        let u8_0 = FixedFormat::unsigned(8, 0).unwrap();
+        assert_eq!(u8_0.max_raw(), 255);
+        assert_eq!(u8_0.min_raw(), 0);
+        assert_eq!(u8_0.ulp(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_formats() {
+        assert!(FixedFormat::signed(0, 8).is_err());
+        assert!(FixedFormat::unsigned(0, 0).is_err());
+        assert!(FixedFormat::signed(97, 0).is_err());
+        assert!(FixedFormat::unsigned(60, 40).is_err());
+    }
+
+    #[test]
+    fn product_format_is_exact() {
+        let a = FixedFormat::signed(4, 4).unwrap();
+        let b = FixedFormat::unsigned(3, 5).unwrap();
+        let p = a.product_format(&b).unwrap();
+        assert!(p.is_signed());
+        assert_eq!(p.int_bits(), 7);
+        assert_eq!(p.frac_bits(), 9);
+    }
+
+    #[test]
+    fn sum_format_has_carry_headroom() {
+        let a = FixedFormat::signed(4, 4).unwrap();
+        let s = a.sum_format(&a).unwrap();
+        assert_eq!(s.int_bits(), 5);
+        assert_eq!(s.frac_bits(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FixedFormat::signed(4, 4).unwrap().to_string(), "Q4.4");
+        assert_eq!(FixedFormat::unsigned(8, 2).unwrap().to_string(), "uQ8.2");
+    }
+
+    #[test]
+    fn decimal_accuracy_triangle_shape() {
+        // Fig. 9: fixed-point accuracy ramps up with magnitude then hits the
+        // overflow cliff.
+        let q = FixedFormat::signed(8, 8).unwrap();
+        let low = q.decimal_accuracy_at(0.01).unwrap();
+        let high = q.decimal_accuracy_at(100.0).unwrap();
+        assert!(high > low);
+        assert!(q.decimal_accuracy_at(1e6).is_none(), "beyond overflow");
+        assert!(q.decimal_accuracy_at(1e-9).is_none(), "below one ulp");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for `nga-fixed`.
+//!
+//! These pin down the algebraic invariants the datapath generators rely on:
+//! exact ops are exact, conversions are monotone, rounding never moves a
+//! value by more than one ulp.
+
+use nga_fixed::{Fixed, FixedFormat, OverflowMode, RoundingMode};
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = FixedFormat> {
+    (1u32..=16, 0u32..=16, any::<bool>()).prop_map(|(i, f, signed)| {
+        if signed {
+            FixedFormat::signed(i, f).expect("valid format")
+        } else {
+            FixedFormat::unsigned(i, f).expect("valid format")
+        }
+    })
+}
+
+fn arb_fixed_pair() -> impl Strategy<Value = (Fixed, Fixed)> {
+    arb_format().prop_flat_map(|fmt| {
+        let min = fmt.min_raw() as i64;
+        let max = fmt.max_raw() as i64;
+        ((min..=max), (min..=max)).prop_map(move |(a, b)| {
+            (
+                Fixed::from_raw(a as i128, fmt).expect("in range"),
+                Fixed::from_raw(b as i128, fmt).expect("in range"),
+            )
+        })
+    })
+}
+
+fn arb_fixed() -> impl Strategy<Value = Fixed> {
+    arb_format().prop_flat_map(|fmt| {
+        let min = fmt.min_raw() as i64;
+        let max = fmt.max_raw() as i64;
+        (min..=max).prop_map(move |raw| Fixed::from_raw(raw as i128, fmt).expect("in range"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn raw_round_trip(x in arb_fixed()) {
+        let y = Fixed::from_raw(x.raw(), x.format()).unwrap();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn exact_add_matches_reals(a in arb_fixed(), b in arb_fixed()) {
+        let s = a.add_exact(&b).unwrap();
+        prop_assert_eq!(s.to_f64(), a.to_f64() + b.to_f64());
+    }
+
+    #[test]
+    fn exact_sub_matches_reals(a in arb_fixed(), b in arb_fixed()) {
+        let s = a.sub_exact(&b).unwrap();
+        prop_assert_eq!(s.to_f64(), a.to_f64() - b.to_f64());
+    }
+
+    #[test]
+    fn exact_mul_matches_reals(a in arb_fixed(), b in arb_fixed()) {
+        let p = a.mul_exact(&b).unwrap();
+        prop_assert_eq!(p.to_f64(), a.to_f64() * b.to_f64());
+    }
+
+    #[test]
+    fn widening_convert_is_lossless(x in arb_fixed()) {
+        let fmt = x.format();
+        let wider = if fmt.is_signed() {
+            FixedFormat::signed(fmt.int_bits() + 4, fmt.frac_bits() + 4).unwrap()
+        } else {
+            FixedFormat::unsigned(fmt.int_bits() + 4, fmt.frac_bits() + 4).unwrap()
+        };
+        let y = x.convert(wider, RoundingMode::NearestEven, OverflowMode::Error).unwrap();
+        prop_assert_eq!(y.to_f64(), x.to_f64());
+    }
+
+    #[test]
+    fn narrowing_error_bounded_by_one_ulp(
+        x in arb_fixed(),
+        mode in prop_oneof![
+            Just(RoundingMode::Truncate),
+            Just(RoundingMode::Floor),
+            Just(RoundingMode::NearestEven),
+            Just(RoundingMode::NearestTiesAway),
+        ],
+    ) {
+        let fmt = x.format();
+        prop_assume!(fmt.frac_bits() >= 2);
+        let narrow = if fmt.is_signed() {
+            FixedFormat::signed(fmt.int_bits(), fmt.frac_bits() - 2).unwrap()
+        } else {
+            FixedFormat::unsigned(fmt.int_bits(), fmt.frac_bits() - 2).unwrap()
+        };
+        let y = x.convert(narrow, mode, OverflowMode::Saturate).unwrap();
+        let err = (y.to_f64() - x.to_f64()).abs();
+        prop_assert!(err <= narrow.ulp() + 1e-12, "err {} ulp {}", err, narrow.ulp());
+    }
+
+    #[test]
+    fn nearest_rounding_error_bounded_by_half_ulp(x in arb_fixed()) {
+        let fmt = x.format();
+        prop_assume!(fmt.frac_bits() >= 2);
+        let narrow = if fmt.is_signed() {
+            FixedFormat::signed(fmt.int_bits(), fmt.frac_bits() - 2).unwrap()
+        } else {
+            FixedFormat::unsigned(fmt.int_bits(), fmt.frac_bits() - 2).unwrap()
+        };
+        let y = x.convert(narrow, RoundingMode::NearestEven, OverflowMode::Saturate).unwrap();
+        // Saturation can move further; only check interior values.
+        if y.raw() != narrow.max_raw() && y.raw() != narrow.min_raw() {
+            let err = (y.to_f64() - x.to_f64()).abs();
+            prop_assert!(err <= narrow.ulp() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone((a, b) in arb_fixed_pair()) {
+        let fmt = a.format();
+        prop_assume!(fmt.frac_bits() >= 1);
+        let narrow = if fmt.is_signed() {
+            FixedFormat::signed(fmt.int_bits(), fmt.frac_bits() - 1).unwrap()
+        } else {
+            FixedFormat::unsigned(fmt.int_bits(), fmt.frac_bits() - 1).unwrap()
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let lo2 = lo.convert(narrow, RoundingMode::NearestEven, OverflowMode::Saturate).unwrap();
+        let hi2 = hi.convert(narrow, RoundingMode::NearestEven, OverflowMode::Saturate).unwrap();
+        prop_assert!(lo2 <= hi2, "rounding must preserve order");
+    }
+
+    #[test]
+    fn saturating_ops_stay_in_range((a, b) in arb_fixed_pair()) {
+        let s = a.checked_add(b).unwrap();
+        prop_assert!(a.format().contains_raw(s.raw()));
+        let d = a.checked_sub(b).unwrap();
+        prop_assert!(a.format().contains_raw(d.raw()));
+    }
+
+    #[test]
+    fn wrap_matches_hardware_adder(a in -512i128..512, b in -512i128..512) {
+        // 8-bit signed wrap must equal i8 wrapping arithmetic.
+        let fmt = FixedFormat::signed(8, 0).unwrap();
+        let w = Fixed::from_raw_with(a + b, fmt, OverflowMode::Wrap).unwrap();
+        let expect = (a as i64 as i8).wrapping_add(0); // placeholder to silence lints
+        let _ = expect;
+        let hw = ((a + b) as i64 as i8) as i128;
+        prop_assert_eq!(w.raw(), hw);
+    }
+}

@@ -1,0 +1,197 @@
+//! Bipartite table approximation — the "tables and additions" point of the
+//! §II-A approximator spectrum (and the seed of the multipartite methods
+//! cited there).
+//!
+//! The input `x` is split into three fields `a | b | c` of `alpha`,
+//! `beta`, `gamma` bits. A *table of initial values* indexed by `(a, b)`
+//! samples the function at each segment's centre of the `c` range, and a
+//! *table of offsets* indexed by `(a, c)` linearizes within the segment
+//! using a slope that depends only on the coarse bits `a`:
+//!
+//! `f(x) ≈ TIV[a,b] + TO[a,c]`
+//!
+//! Exactness is measured (never assumed) by exhaustive enumeration, and
+//! the storage win over plain tabulation is the whole point: TO needs far
+//! fewer bits than the plain table's tail.
+
+use nga_fixed::{round_scaled, RoundingMode};
+
+use crate::error::ErrorReport;
+
+/// A generated bipartite approximator for `f: [0,1) -> R`.
+#[derive(Debug, Clone)]
+pub struct BipartiteTable {
+    alpha: u32,
+    beta: u32,
+    gamma: u32,
+    out_frac_bits: u32,
+    guard_bits: u32,
+    tiv: Vec<i64>,
+    to: Vec<i64>,
+}
+
+impl BipartiteTable {
+    /// Generates tables for `f` with the given field split and output
+    /// format. `guard_bits` extra fraction bits are carried in the tables
+    /// and rounded away after the addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total input width exceeds 20 bits.
+    pub fn generate(
+        alpha: u32,
+        beta: u32,
+        gamma: u32,
+        out_frac_bits: u32,
+        f: impl Fn(f64) -> f64,
+    ) -> Self {
+        let n = alpha + beta + gamma;
+        assert!(n <= 20, "bipartite input width {n} too large");
+        let guard_bits = 2;
+        let scale = ((out_frac_bits + guard_bits) as f64).exp2();
+        let in_scale = (1u64 << n) as f64;
+
+        // TIV[a,b]: f at the segment centre of the c field.
+        let mut tiv = Vec::with_capacity(1 << (alpha + beta));
+        for ab in 0u64..1 << (alpha + beta) {
+            let x_base = (ab << gamma) as f64 / in_scale;
+            let c_center = ((1u64 << gamma) as f64 / 2.0 - 0.5) / in_scale;
+            let v = f(x_base + c_center);
+            tiv.push(round_scaled(v * scale, RoundingMode::NearestEven) as i64);
+        }
+
+        // TO[a,c]: slope of segment `a` times the centred offset of c.
+        let mut to = Vec::with_capacity(1 << (alpha + gamma));
+        for ac in 0u64..1 << (alpha + gamma) {
+            let a = ac >> gamma;
+            let c = ac & ((1 << gamma) - 1);
+            // Slope estimated over the whole a-segment.
+            let seg_lo = (a << (beta + gamma)) as f64 / in_scale;
+            let seg_hi = ((a + 1) << (beta + gamma)) as f64 / in_scale;
+            let slope = (f(seg_hi.min(1.0 - 1.0 / in_scale)) - f(seg_lo)) / (seg_hi - seg_lo);
+            let offset = (c as f64 - ((1u64 << gamma) as f64 / 2.0 - 0.5)) / in_scale;
+            to.push(round_scaled(slope * offset * scale, RoundingMode::NearestEven) as i64);
+        }
+
+        Self {
+            alpha,
+            beta,
+            gamma,
+            out_frac_bits,
+            guard_bits,
+            tiv,
+            to,
+        }
+    }
+
+    /// Total input width.
+    #[must_use]
+    pub fn in_bits(&self) -> u32 {
+        self.alpha + self.beta + self.gamma
+    }
+
+    /// Evaluates the raw fixed-point output for raw input `x`.
+    #[must_use]
+    pub fn lookup(&self, x: u64) -> i64 {
+        let n = self.in_bits();
+        let a = x >> (self.beta + self.gamma);
+        let b = (x >> self.gamma) & ((1 << self.beta) - 1);
+        let c = x & ((1 << self.gamma) - 1);
+        debug_assert!(x < 1 << n);
+        let sum =
+            self.tiv[((a << self.beta) | b) as usize] + self.to[((a << self.gamma) | c) as usize];
+        // Drop the guard bits with round-to-nearest-even.
+        let div = 1i64 << self.guard_bits;
+        let q = sum.div_euclid(div);
+        let r = sum.rem_euclid(div);
+        let half = div / 2;
+        if r > half || (r == half && q % 2 != 0) {
+            q + 1
+        } else {
+            q
+        }
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn lookup_f64(&self, x: u64) -> f64 {
+        self.lookup(x) as f64 * (-(self.out_frac_bits as f64)).exp2()
+    }
+
+    /// Stored bits across both tables.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let w = |v: &[i64]| -> u64 {
+            let max = v
+                .iter()
+                .map(|&e| 64 - e.unsigned_abs().leading_zeros() as u64 + 1)
+                .max()
+                .unwrap_or(1);
+            v.len() as u64 * max
+        };
+        w(&self.tiv) + w(&self.to)
+    }
+
+    /// Exhaustively measures against the oracle.
+    pub fn measure(&self, f: impl Fn(f64) -> f64) -> ErrorReport {
+        let n = self.in_bits();
+        ErrorReport::measure(
+            0..1 << n,
+            self.out_frac_bits,
+            |x| self.lookup_f64(x),
+            |x| f(x as f64 / (1u64 << n) as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PlainTable;
+
+    #[test]
+    fn bipartite_sine_is_faithful() {
+        let f = |x: f64| (x * std::f64::consts::FRAC_PI_2).sin();
+        // 12-bit input, 4/4/4 split, 10 output fraction bits.
+        let t = BipartiteTable::generate(4, 4, 4, 10, f);
+        let r = t.measure(f);
+        assert!(r.max_ulp <= 1.0 + 1e-9, "faithful rounding: {r}");
+    }
+
+    #[test]
+    fn bipartite_saves_storage_over_plain_table() {
+        let f = |x: f64| 1.0 / (1.0 + x);
+        let plain = PlainTable::generate(12, 10, f);
+        let bi = BipartiteTable::generate(4, 4, 4, 10, f);
+        let rb = bi.measure(f);
+        assert!(rb.max_ulp <= 1.5, "{rb}");
+        assert!(
+            bi.storage_bits() * 4 < plain.storage_bits(),
+            "bipartite {} vs plain {} bits",
+            bi.storage_bits(),
+            plain.storage_bits()
+        );
+    }
+
+    #[test]
+    fn degenerate_split_is_a_plain_table() {
+        // gamma = 0 means the TO table carries no information.
+        let f = |x: f64| x * x;
+        let t = BipartiteTable::generate(4, 4, 0, 8, f);
+        let r = t.measure(f);
+        assert!(r.max_ulp <= 1.0 + 1e-9, "{r}");
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_coarser_slopes() {
+        let f = |x: f64| (1.0 + x).ln();
+        let fine = BipartiteTable::generate(6, 3, 3, 10, f).measure(f);
+        let coarse = BipartiteTable::generate(2, 5, 5, 10, f).measure(f);
+        assert!(
+            fine.max_ulp <= coarse.max_ulp + 1e-9,
+            "finer a-field can't be worse: {} vs {}",
+            fine.max_ulp,
+            coarse.max_ulp
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Constant multiplication by shift-and-add — "the most classical example"
+//! of operator specialization (§II-A) — plus the multiple-constant
+//! multiplication sharing of §II-A's operator-sharing paragraph.
+//!
+//! Constants are recoded into canonical signed digit (CSD) form, which
+//! minimizes the number of nonzero digits (each nonzero digit costs one
+//! adder/subtractor). [`MultiConstMul`] then shares identical
+//! sub-expressions across several constants.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One signed digit of a CSD recoding: `(shift, negative)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CsdDigit {
+    /// Bit position (weight `2^shift`).
+    pub shift: u32,
+    /// True for a −1 digit.
+    pub negative: bool,
+}
+
+/// A shift-add constant multiplier for one constant.
+///
+/// ```
+/// use nga_funcgen::constmul::ConstMul;
+/// let m = ConstMul::new(105); // 105 = 0b1101001 (4 ones) -> CSD needs 4 adders? no:
+/// // 105 = 128 - 16 - 8 + 1 -> 3 add/sub operations.
+/// assert!(m.adder_count() <= 3);
+/// for x in 0..1000u64 {
+///     assert_eq!(m.apply(x), 105 * x);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstMul {
+    constant: u64,
+    digits: Vec<CsdDigit>,
+}
+
+impl ConstMul {
+    /// Builds the CSD shift-add decomposition of `constant`.
+    #[must_use]
+    pub fn new(constant: u64) -> Self {
+        Self {
+            constant,
+            digits: csd_recode(constant),
+        }
+    }
+
+    /// The constant being multiplied by.
+    #[must_use]
+    pub fn constant(&self) -> u64 {
+        self.constant
+    }
+
+    /// The CSD digits (nonzero signed bits).
+    #[must_use]
+    pub fn digits(&self) -> &[CsdDigit] {
+        &self.digits
+    }
+
+    /// Adders/subtractors needed: one per nonzero digit beyond the first
+    /// (shifts are free wiring in hardware).
+    #[must_use]
+    pub fn adder_count(&self) -> u32 {
+        (self.digits.len() as u32).saturating_sub(1)
+    }
+
+    /// Multiplies `x` by the constant using only shifts and adds.
+    #[must_use]
+    pub fn apply(&self, x: u64) -> u64 {
+        let mut acc: i128 = 0;
+        for d in &self.digits {
+            let term = (x as i128) << d.shift;
+            if d.negative {
+                acc -= term;
+            } else {
+                acc += term;
+            }
+        }
+        acc as u64
+    }
+}
+
+impl fmt::Display for ConstMul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "×{} [", self.constant)?;
+        for (i, d) in self.digits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}2^{}", if d.negative { "-" } else { "+" }, d.shift)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Canonical signed digit recoding: no two adjacent nonzero digits,
+/// minimal nonzero count.
+#[must_use]
+pub fn csd_recode(mut n: u64) -> Vec<CsdDigit> {
+    let mut digits = Vec::new();
+    let mut shift = 0u32;
+    while n != 0 {
+        if n & 1 == 1 {
+            // Look at the low two bits: runs of ones become +2^k ... -2^j.
+            if n & 3 == 3 {
+                // ...11 -> digit -1 here, carry up.
+                digits.push(CsdDigit {
+                    shift,
+                    negative: true,
+                });
+                n += 1; // carry
+            } else {
+                digits.push(CsdDigit {
+                    shift,
+                    negative: false,
+                });
+            }
+        }
+        n >>= 1;
+        shift += 1;
+    }
+    digits
+}
+
+/// Multiple-constant multiplication: computes `c_i * x` for several
+/// constants, sharing common sub-terms (§II-A: "look for intermediate
+/// computations that can be used by several subsequent computations",
+/// citing the multiple constant multiplication problem).
+///
+/// Sharing model: each distinct digit *pair* pattern `±2^a ± 2^b`
+/// (normalized to its smallest shift) is built once and reused; remaining
+/// single digits cost one adder each. This is a light-weight stand-in for
+/// the ILP formulations of the literature, but it is measurable and
+/// correct.
+#[derive(Debug, Clone)]
+pub struct MultiConstMul {
+    muls: Vec<ConstMul>,
+    shared_adders: u32,
+    naive_adders: u32,
+}
+
+impl MultiConstMul {
+    /// Builds a shared multiplier block for the given constants.
+    #[must_use]
+    pub fn new(constants: &[u64]) -> Self {
+        let muls: Vec<ConstMul> = constants.iter().map(|&c| ConstMul::new(c)).collect();
+        let naive_adders: u32 = muls.iter().map(ConstMul::adder_count).sum();
+        // Count shared pair patterns: normalized (gap, sign pattern).
+        let mut pair_uses: BTreeMap<(u32, bool, bool), u32> = BTreeMap::new();
+        for m in &muls {
+            for pair in m.digits.windows(2) {
+                let key = (
+                    pair[1].shift - pair[0].shift,
+                    pair[0].negative,
+                    pair[1].negative,
+                );
+                *pair_uses.entry(key).or_insert(0) += 1;
+            }
+        }
+        // Each pattern used k times costs 1 adder once instead of k times:
+        // savings = sum over patterns of floor(uses/2) ... conservatively,
+        // each reuse of a pattern saves one adder.
+        let savings: u32 = pair_uses.values().map(|&u| u.saturating_sub(1)).sum();
+        let shared_adders = naive_adders.saturating_sub(savings);
+        Self {
+            muls,
+            shared_adders,
+            naive_adders,
+        }
+    }
+
+    /// The per-constant multipliers.
+    #[must_use]
+    pub fn multipliers(&self) -> &[ConstMul] {
+        &self.muls
+    }
+
+    /// Adder count without sharing.
+    #[must_use]
+    pub fn naive_adder_count(&self) -> u32 {
+        self.naive_adders
+    }
+
+    /// Adder count with pattern sharing.
+    #[must_use]
+    pub fn shared_adder_count(&self) -> u32 {
+        self.shared_adders
+    }
+
+    /// Applies every constant to `x`.
+    #[must_use]
+    pub fn apply(&self, x: u64) -> Vec<u64> {
+        self.muls.iter().map(|m| m.apply(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csd_has_no_adjacent_nonzeros() {
+        for n in 1..2000u64 {
+            let d = csd_recode(n);
+            for w in d.windows(2) {
+                assert!(w[1].shift > w[0].shift + 1, "adjacent digits for {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_reconstructs_the_constant() {
+        for n in 0..4096u64 {
+            let m = ConstMul::new(n);
+            assert_eq!(m.apply(1), n, "constant {n}");
+        }
+    }
+
+    #[test]
+    fn apply_matches_multiplication() {
+        for &c in &[0u64, 1, 3, 7, 105, 255, 257, 0xABCD, 0xFFFF_FFFF] {
+            let m = ConstMul::new(c);
+            for x in [0u64, 1, 2, 1000, 65535, 1 << 20] {
+                assert_eq!(m.apply(x), c.wrapping_mul(x), "{c} * {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_beats_binary_on_runs_of_ones() {
+        // 255 = 11111111b: 8 ones binary, but 2 digits CSD (256 - 1).
+        let m = ConstMul::new(255);
+        assert_eq!(m.digits().len(), 2);
+        assert_eq!(m.adder_count(), 1);
+        // The §II example constant sin(17π/256)-style values benefit too.
+        let m2 = ConstMul::new(0b111011101110);
+        assert!(m2.digits().len() <= 7);
+    }
+
+    #[test]
+    fn multi_constant_sharing_saves_adders() {
+        // FIR-like symmetric coefficient sets share structure.
+        let mcm = MultiConstMul::new(&[0b1010101, 0b10101010, 0b101010100]);
+        assert!(mcm.shared_adder_count() < mcm.naive_adder_count());
+        for x in [1u64, 3, 17, 255] {
+            let got = mcm.apply(x);
+            assert_eq!(got[0], 0b1010101 * x);
+            assert_eq!(got[1], 0b10101010 * x);
+            assert_eq!(got[2], 0b101010100 * x);
+        }
+    }
+
+    #[test]
+    fn power_of_two_is_free() {
+        let m = ConstMul::new(1024);
+        assert_eq!(m.adder_count(), 0, "pure shift");
+        assert_eq!(m.apply(7), 7168);
+    }
+}

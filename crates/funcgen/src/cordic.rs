@@ -1,0 +1,217 @@
+//! CORDIC rotation — the multiplierless alternative to the Fig. 1
+//! table+multiplier sine/cosine architecture, included so the §II-C
+//! exploration can compare *across* algorithm families ("which variant of
+//! which algorithm to use" is itself an interface parameter).
+//!
+//! Classic rotation-mode CORDIC: start from `(K, 0)` and rotate by
+//! `±atan(2^-i)` micro-angles until the residual angle is exhausted. Each
+//! iteration costs two shifts and three additions — no multipliers, no
+//! tables beyond the `atan` constants — and adds roughly one bit of
+//! accuracy.
+
+use nga_fixed::{round_scaled, RoundingMode};
+
+use crate::error::ErrorReport;
+
+/// A generated fixed-point CORDIC sine/cosine operator.
+///
+/// Same interface as [`SinCos`](crate::sincos::SinCos): `in_bits`-bit
+/// phase in turns, signed outputs with `out_frac` fraction bits.
+#[derive(Debug, Clone)]
+pub struct CordicSinCos {
+    in_bits: u32,
+    out_frac: u32,
+    f: u32,
+    iterations: u32,
+    /// atan(2^-i) in turns-free radians, f fraction bits.
+    angles: Vec<i64>,
+    /// The aggregate gain correction K = Π 1/sqrt(1+2^-2i), f fraction bits.
+    gain: i64,
+    /// Phase→radians constant with 20 guard bits.
+    theta_k: i128,
+}
+
+impl CordicSinCos {
+    /// Generates a CORDIC with `iterations` micro-rotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits` is not in `4..=20`, `out_frac` exceeds 24, or
+    /// `iterations` is not in `1..=30`.
+    #[must_use]
+    pub fn generate(in_bits: u32, out_frac: u32, iterations: u32) -> Self {
+        assert!((4..=20).contains(&in_bits));
+        assert!(out_frac <= 24);
+        assert!((1..=30).contains(&iterations));
+        let f = out_frac + 8;
+        let scale = (f as f64).exp2();
+        let angles = (0..iterations)
+            .map(|i| {
+                round_scaled(
+                    (2.0f64).powi(-(i as i32)).atan() * scale,
+                    RoundingMode::NearestEven,
+                ) as i64
+            })
+            .collect();
+        let k: f64 = (0..iterations)
+            .map(|i| 1.0 / (1.0 + (2.0f64).powi(-2 * i as i32)).sqrt())
+            .product();
+        let gain = round_scaled(k * scale, RoundingMode::NearestEven) as i64;
+        let quarter_bits = in_bits - 2;
+        let theta_k = round_scaled(
+            std::f64::consts::FRAC_PI_2 * ((f + 20) as f64).exp2() / (1u64 << quarter_bits) as f64,
+            RoundingMode::NearestEven,
+        );
+        Self {
+            in_bits,
+            out_frac,
+            f,
+            iterations,
+            angles,
+            gain,
+            theta_k,
+        }
+    }
+
+    /// Number of micro-rotations.
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Evaluates `(sin, cos)` of `x / 2^in_bits` turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` is out of range.
+    #[must_use]
+    pub fn eval(&self, x: u64) -> (i64, i64) {
+        debug_assert!(x < 1u64 << self.in_bits);
+        let quarter_bits = self.in_bits - 2;
+        let q = x >> quarter_bits;
+        let y = x & ((1 << quarter_bits) - 1);
+        // Target angle in radians, f fraction bits.
+        let mut z = ((y as i128 * self.theta_k) >> 20) as i64;
+        // Rotation mode from (gain, 0).
+        let mut cx = self.gain;
+        let mut cy = 0i64;
+        for (i, &a) in self.angles.iter().enumerate() {
+            let (dx, dy) = (cy >> i, cx >> i);
+            if z >= 0 {
+                cx -= dx;
+                cy += dy;
+                z -= a;
+            } else {
+                cx += dx;
+                cy -= dy;
+                z += a;
+            }
+        }
+        // Quadrant symmetry, then round f -> out_frac.
+        let (sq, cq) = match q {
+            0 => (cy, cx),
+            1 => (cx, -cy),
+            2 => (-cy, -cx),
+            _ => (-cx, cy),
+        };
+        let drop = self.f - self.out_frac;
+        let round = |v: i64| -> i64 {
+            let div = 1i64 << drop;
+            let q0 = v.div_euclid(div);
+            let r = v.rem_euclid(div);
+            let half = div / 2;
+            if r > half || (r == half && q0 % 2 != 0) {
+                q0 + 1
+            } else {
+                q0
+            }
+        };
+        (round(sq), round(cq))
+    }
+
+    /// Evaluates as real values.
+    #[must_use]
+    pub fn eval_f64(&self, x: u64) -> (f64, f64) {
+        let (s, c) = self.eval(x);
+        let ulp = (-(self.out_frac as f64)).exp2();
+        (s as f64 * ulp, c as f64 * ulp)
+    }
+
+    /// Exhaustive error measurement of the sine output.
+    #[must_use]
+    pub fn measure(&self) -> ErrorReport {
+        let n = self.in_bits;
+        ErrorReport::measure(
+            0..1 << n,
+            self.out_frac,
+            |x| self.eval_f64(x).0,
+            |x| (x as f64 / (1u64 << n) as f64 * std::f64::consts::TAU).sin(),
+        )
+    }
+
+    /// Cost: no tables, no multipliers — `3 · iterations` word adders plus
+    /// the phase constant multiply.
+    #[must_use]
+    pub fn adder_count(&self) -> u32 {
+        3 * self.iterations + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sincos::SinCos;
+
+    #[test]
+    fn accuracy_improves_one_bit_per_iteration() {
+        let mut last = f64::INFINITY;
+        for it in [4u32, 8, 12, 16] {
+            let c = CordicSinCos::generate(12, 10, it);
+            let r = c.measure();
+            assert!(r.max_ulp < last, "iterations {it}: {}", r.max_ulp);
+            last = r.max_ulp;
+        }
+    }
+
+    #[test]
+    fn enough_iterations_reach_faithfulness() {
+        let c = CordicSinCos::generate(12, 10, 16);
+        let r = c.measure();
+        assert!(r.max_ulp <= 1.0 + 1e-9, "{r}");
+    }
+
+    #[test]
+    fn cardinal_points() {
+        let c = CordicSinCos::generate(12, 10, 16);
+        assert_eq!(c.eval(0), (0, 1 << 10));
+        let (s, co) = c.eval(1 << 10); // 90°
+        assert_eq!((s, co), (1 << 10, 0));
+    }
+
+    #[test]
+    fn quadrant_symmetry_is_exact() {
+        let c = CordicSinCos::generate(12, 10, 14);
+        let quarter = 1u64 << 10;
+        for y in (0..quarter).step_by(31) {
+            let (s0, c0) = c.eval(y);
+            let (s1, c1) = c.eval(y + quarter);
+            assert_eq!((s1, c1), (c0, -s0));
+        }
+    }
+
+    #[test]
+    fn cordic_trades_adders_for_tables() {
+        // §II-C cross-family comparison: the table+multiplier generator
+        // and CORDIC hit the same accuracy with opposite cost shapes.
+        let table = SinCos::generate(12, 6, 10);
+        let cordic = CordicSinCos::generate(12, 10, 16);
+        let (ts, _) = table.measure();
+        let cs = cordic.measure();
+        assert!(ts.max_ulp <= 1.0 + 1e-9);
+        assert!(cs.max_ulp <= 1.0 + 1e-9);
+        assert!(table.cost().table_bits > 0);
+        assert!(table.cost().mult_area > 0);
+        // CORDIC: zero tables, zero multipliers, many adders.
+        assert!(cordic.adder_count() > table.cost().adders);
+    }
+}

@@ -1,0 +1,263 @@
+//! Elementary-function operators: fixed-point `2^x` and `log₂(x)` with
+//! range reduction — "the design of coarser operators such as elementary
+//! functions" that §II-A says function approximation enables.
+//!
+//! Both reduce to a core approximation on `[0,1)` (a [`PiecewisePoly`])
+//! plus exact exponent manipulation, mirroring how FloPoCo builds its
+//! exp/log operators: range reduction is exact bit surgery, only the core
+//! is approximated, and the final error is measured.
+
+use crate::error::ErrorReport;
+use crate::poly::PiecewisePoly;
+
+/// A fixed-point `2^x` operator for inputs in `[-8, 8)` (signed Q4.`f`)
+/// producing `2^x` as a significand in `[1, 2)` plus an integer exponent.
+#[derive(Debug, Clone)]
+pub struct Exp2 {
+    core: PiecewisePoly,
+    in_frac: u32,
+    out_frac: u32,
+}
+
+impl Exp2 {
+    /// Generates the operator: `in_frac` input fraction bits, `out_frac`
+    /// significand fraction bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths exceed the core generator's limits.
+    #[must_use]
+    pub fn generate(in_frac: u32, out_frac: u32) -> Self {
+        // Core: 2^t - 1 for t in [0,1), evaluated on in_frac bits.
+        let core = PiecewisePoly::generate(in_frac.max(6), 4, 2, out_frac + 2, |t| {
+            (2.0f64).powf(t) - 1.0
+        });
+        Self {
+            core,
+            in_frac,
+            out_frac,
+        }
+    }
+
+    /// Evaluates `2^(x_raw · 2^-in_frac)` as `(significand_raw, exponent)`
+    /// with `significand = sig_raw · 2^-out_frac ∈ [1, 2)`.
+    #[must_use]
+    pub fn eval(&self, x_raw: i64) -> (u64, i32) {
+        // Split into integer and fractional parts (floor semantics).
+        let int = x_raw.div_euclid(1 << self.in_frac);
+        let frac = x_raw.rem_euclid(1 << self.in_frac) as u64;
+        // Map the fraction onto the core's input grid.
+        let core_in_bits = self.core_in_bits();
+        let t = if core_in_bits >= self.in_frac {
+            frac << (core_in_bits - self.in_frac)
+        } else {
+            frac >> (self.in_frac - core_in_bits)
+        };
+        let core_out = self.core.lookup(t); // (2^t - 1) with out_frac+2 bits
+                                            // Round the core output to out_frac and add the hidden 1.
+        let drop = 2;
+        let div = 1i64 << drop;
+        let q = core_out.div_euclid(div);
+        let r = core_out.rem_euclid(div);
+        let rounded = if r > div / 2 || (r == div / 2 && q % 2 != 0) {
+            q + 1
+        } else {
+            q
+        };
+        let sig = (1u64 << self.out_frac) + rounded as u64;
+        // Rounding can carry to 2.0: renormalize.
+        if sig >= 2u64 << self.out_frac {
+            (sig >> 1, int as i32 + 1)
+        } else {
+            (sig, int as i32)
+        }
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn eval_f64(&self, x_raw: i64) -> f64 {
+        let (sig, e) = self.eval(x_raw);
+        sig as f64 * (-(self.out_frac as f64)).exp2() * (e as f64).exp2()
+    }
+
+    /// Measures relative error over the input range, in output ulps of the
+    /// significand.
+    #[must_use]
+    pub fn measure(&self) -> ErrorReport {
+        let lo = -(8i64 << self.in_frac);
+        let hi = 8i64 << self.in_frac;
+        let ulp = (-(self.out_frac as f64)).exp2();
+        let mut r = ErrorReport::default();
+        let mut total = 0.0;
+        let mut x = lo;
+        while x < hi {
+            let got = self.eval_f64(x);
+            let want = (x as f64 * (-(self.in_frac as f64)).exp2()).exp2();
+            // Relative error in units of significand ulps.
+            let e = ((got - want) / want).abs() / ulp;
+            r.max_ulp = r.max_ulp.max(e);
+            r.max_abs = r.max_abs.max((got - want).abs());
+            total += e;
+            r.samples += 1;
+            x += 7; // dense stride
+        }
+        r.mean_abs = total / r.samples as f64;
+        r
+    }
+
+    fn core_in_bits(&self) -> u32 {
+        self.in_frac.max(6)
+    }
+}
+
+/// A fixed-point `log₂(x)` operator for inputs in `(0, 2^16)` as unsigned
+/// Q16.`f`, producing signed Q6.`out_frac`.
+#[derive(Debug, Clone)]
+pub struct Log2 {
+    core: PiecewisePoly,
+    in_frac: u32,
+    out_frac: u32,
+}
+
+impl Log2 {
+    /// Generates the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths exceed the core generator's limits.
+    #[must_use]
+    pub fn generate(in_frac: u32, out_frac: u32) -> Self {
+        // Core: log2(1 + t) for t in [0,1).
+        let core =
+            PiecewisePoly::generate(out_frac.max(8), 4, 2, out_frac + 2, |t| (1.0 + t).log2());
+        Self {
+            core,
+            in_frac,
+            out_frac,
+        }
+    }
+
+    /// Evaluates `log₂(x_raw · 2^-in_frac)` as a raw signed Q6.`out_frac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_raw` is zero (log of zero is -∞ — callers decide
+    /// their exception policy, as posits and floats disagree about it).
+    #[must_use]
+    pub fn eval(&self, x_raw: u64) -> i64 {
+        assert!(x_raw != 0, "log2(0) has no fixed-point encoding");
+        // Normalize: x = m · 2^e with m in [1, 2).
+        let top = 63 - x_raw.leading_zeros() as i32;
+        let e = top - self.in_frac as i32;
+        // Fraction bits of the mantissa below the leading one, mapped to
+        // the core grid.
+        let core_bits = self.core_in_bits();
+        let frac = if top == 0 {
+            0
+        } else {
+            let f = x_raw & ((1u64 << top) - 1);
+            if core_bits as i32 >= top {
+                f << (core_bits as i32 - top)
+            } else {
+                f >> (top - core_bits as i32)
+            }
+        };
+        let core_out = self.core.lookup(frac); // log2(1+t), out_frac+2 bits
+        let drop = 2;
+        let div = 1i64 << drop;
+        let q = core_out.div_euclid(div);
+        let r = core_out.rem_euclid(div);
+        let rounded = if r > div / 2 || (r == div / 2 && q % 2 != 0) {
+            q + 1
+        } else {
+            q
+        };
+        i64::from(e) * (1i64 << self.out_frac) + rounded
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn eval_f64(&self, x_raw: u64) -> f64 {
+        self.eval(x_raw) as f64 * (-(self.out_frac as f64)).exp2()
+    }
+
+    fn core_in_bits(&self) -> u32 {
+        self.out_frac.max(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2_integer_points_are_exact() {
+        let e = Exp2::generate(8, 12);
+        for k in -8i64..8 {
+            let (sig, ex) = e.eval(k << 8);
+            assert_eq!(sig, 1 << 12, "2^{k} significand is 1.0");
+            assert_eq!(ex, k as i32, "2^{k} exponent");
+        }
+    }
+
+    #[test]
+    fn exp2_is_accurate_everywhere() {
+        let e = Exp2::generate(10, 12);
+        let r = e.measure();
+        assert!(r.max_ulp <= 2.0, "relative error {r}");
+    }
+
+    #[test]
+    fn exp2_is_monotone() {
+        let e = Exp2::generate(8, 12);
+        let mut last = 0.0;
+        for x in (-2048i64..2048).step_by(3) {
+            let v = e.eval_f64(x);
+            assert!(v >= last, "monotone at {x}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn log2_powers_of_two_are_exact() {
+        let l = Log2::generate(8, 12);
+        for k in -8i32..8 {
+            let x = if k >= 0 { 256u64 << k } else { 256u64 >> -k };
+            assert_eq!(l.eval(x), i64::from(k) << 12, "log2(2^{k})");
+        }
+    }
+
+    #[test]
+    fn log2_tracks_the_oracle() {
+        let l = Log2::generate(8, 12);
+        let ulp = (2.0f64).powi(-12);
+        for x in (1u64..1 << 16).step_by(37) {
+            let got = l.eval_f64(x);
+            let want = (x as f64 / 256.0).log2();
+            assert!(
+                (got - want).abs() <= 4.0 * ulp,
+                "log2 at {x}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp2_log2_round_trip() {
+        let e = Exp2::generate(10, 14);
+        let l = Log2::generate(10, 14);
+        for x in (-4096i64..4096).step_by(53) {
+            let v = e.eval_f64(x);
+            // Back through log2 (value as Q16.10 raw).
+            let raw = (v * 1024.0).round() as u64;
+            if raw == 0 {
+                continue;
+            }
+            let back = l.eval_f64(raw);
+            let want = x as f64 / 1024.0;
+            assert!(
+                (back - want).abs() < 0.01,
+                "round trip at {x}: {back} vs {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Measured accuracy of a generated operator against a real-valued oracle.
+///
+/// §II-C: "we need to be able to compute the accuracy of the architecture
+/// as a function of the parameter values through error analysis … a range
+/// of techniques can be mixed and matched, from approximation theory down
+/// to a brute force enumeration", as long as it can be programmed. This
+/// type is the programmed form: exhaustive where the input space is small,
+/// dense-sampled otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorReport {
+    /// Largest absolute error observed.
+    pub max_abs: f64,
+    /// Largest error in ulps of the output format.
+    pub max_ulp: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Number of points evaluated.
+    pub samples: u64,
+}
+
+impl ErrorReport {
+    /// Measures `got` against `oracle` over the inputs yielded by `domain`,
+    /// reporting errors in ulps of `2^-out_frac_bits`.
+    pub fn measure<I>(
+        domain: I,
+        out_frac_bits: u32,
+        mut got: impl FnMut(u64) -> f64,
+        mut oracle: impl FnMut(u64) -> f64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let ulp = (-(out_frac_bits as f64)).exp2();
+        let mut r = Self::default();
+        let mut total = 0.0;
+        for x in domain {
+            let e = (got(x) - oracle(x)).abs();
+            r.max_abs = r.max_abs.max(e);
+            total += e;
+            r.samples += 1;
+        }
+        if r.samples > 0 {
+            r.mean_abs = total / r.samples as f64;
+        }
+        r.max_ulp = r.max_abs / ulp;
+        r
+    }
+
+    /// Whether the operator is *faithfully rounded*: every output within
+    /// one ulp of the true value.
+    #[must_use]
+    pub fn is_faithful(&self) -> bool {
+        self.max_ulp <= 1.0 + 1e-9
+    }
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max {:.3} ulp ({:.3e} abs), mean {:.3e}, {} samples",
+            self.max_ulp, self.max_abs, self.mean_abs, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_perfect_operator() {
+        let r = ErrorReport::measure(0..256, 8, |x| x as f64, |x| x as f64);
+        assert_eq!(r.max_abs, 0.0);
+        assert!(r.is_faithful());
+        assert_eq!(r.samples, 256);
+    }
+
+    #[test]
+    fn measures_a_biased_operator() {
+        // Constant error of 1/256 = 1 ulp at 8 fraction bits.
+        let r = ErrorReport::measure(0..100, 8, |x| x as f64 + 0.00390625, |x| x as f64);
+        assert!((r.max_ulp - 1.0).abs() < 1e-9);
+        assert!(r.is_faithful());
+        let r2 = ErrorReport::measure(0..100, 8, |x| x as f64 + 0.0079, |x| x as f64);
+        assert!(!r2.is_faithful());
+    }
+}

@@ -1,0 +1,266 @@
+//! Operator fusion: the §II-A worked example `x / √(x² + y²)`.
+//!
+//! "Operator fusion involves considering a compound mathematical
+//! expression … as a single operator to implement." The fused datapath
+//! keeps exact wide intermediates (squares, sum, root) and rounds **once**
+//! at the output; the discrete alternative chains standard operators and
+//! rounds at every I/O boundary. Both are implemented here over the same
+//! fixed-point I/O format so the accuracy and cost gap is measurable.
+
+use crate::error::ErrorReport;
+
+/// The fused `x/√(x²+y²)` operator over `w`-bit unsigned inputs in `[0,1)`
+/// producing a `w`-bit unsigned result in `[0,1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizeFused {
+    w: u32,
+}
+
+/// The discrete (unfused) composition: square → add → sqrt → divide, each
+/// rounded to the `w`-bit I/O format.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizeDiscrete {
+    w: u32,
+}
+
+/// Integer square root (floor) of a `u128`.
+fn isqrt(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let mut r: u128 = 0;
+    let mut bit = 1u128 << ((127 - n.leading_zeros()) & !1);
+    let mut n = n;
+    while bit != 0 {
+        if n >= r + bit {
+            n -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    r
+}
+
+impl NormalizeFused {
+    /// Creates the operator for `w`-bit I/O (`w <= 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is 0 or exceeds 24.
+    #[must_use]
+    pub fn new(w: u32) -> Self {
+        assert!((1..=24).contains(&w));
+        Self { w }
+    }
+
+    /// Evaluates with raw `w`-bit inputs (fraction-only format), returning
+    /// the raw `w`-bit result, faithfully rounded. Returns `None` when
+    /// both inputs are zero (the mathematical function is undefined).
+    #[must_use]
+    pub fn eval(&self, x: u64, y: u64) -> Option<u64> {
+        if x == 0 && y == 0 {
+            return None;
+        }
+        let w = self.w;
+        // Exact: n = x² + y² with 2w fraction bits.
+        let n = (x as u128) * (x as u128) + (y as u128) * (y as u128);
+        // r = x / sqrt(n): scale so one integer division yields w+2
+        // result bits plus a remainder-based rounding decision.
+        // sqrt(n · 2^(2k)) = sqrt(n) · 2^k exactly when n is shifted by an
+        // even amount; root then has w + k fraction bits... we need
+        // x·2^(w+g) / sqrt(n) where both are integers.
+        let g = 3u32;
+        // denominator: s = floor(sqrt(n << 2g')) with g' guard bits.
+        let gp = 2 * (w + g);
+        let s = isqrt(n << gp); // = sqrt-value · 2^(2w+g), floor
+                                // q = num / s must carry w+g fraction bits:
+                                // num = x-value · 2^(3w+2g) so that q = (x/√n) · 2^(w+g).
+        let num = (x as u128) << (2 * w + 2 * g);
+        let q = num / s;
+        let rem = num % s;
+        // q has w+g fraction bits (value q·2^-(w+g)); round to w bits.
+        let sticky = u128::from(rem != 0);
+        let qs = q | sticky;
+        let drop = g;
+        let div = 1u128 << drop;
+        let r = qs & (div - 1);
+        let half = div / 2;
+        let base = qs >> drop;
+        let rounded = if r > half || (r == half && base & 1 == 1) {
+            base + 1
+        } else {
+            base
+        };
+        Some(rounded.min(1 << w) as u64)
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn eval_f64(&self, x: u64, y: u64) -> Option<f64> {
+        self.eval(x, y)
+            .map(|r| r as f64 * (-(self.w as f64)).exp2())
+    }
+}
+
+impl NormalizeDiscrete {
+    /// Creates the operator for `w`-bit I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is 0 or exceeds 24.
+    #[must_use]
+    pub fn new(w: u32) -> Self {
+        assert!((1..=24).contains(&w));
+        Self { w }
+    }
+
+    /// Evaluates the chained composition, rounding every intermediate to
+    /// the `w`-bit I/O format (nearest, saturating at 1.0).
+    #[must_use]
+    pub fn eval(&self, x: u64, y: u64) -> Option<u64> {
+        if x == 0 && y == 0 {
+            return None;
+        }
+        let w = self.w;
+        let one = 1u128 << w;
+        let round_to_w = |v_num: u128, v_den_log2: u32| -> u128 {
+            // round(v_num / 2^(v_den_log2 - w)) to w frac bits
+            let drop = v_den_log2 - w;
+            let div = 1u128 << drop;
+            let q = v_num >> drop;
+            let r = v_num & (div - 1);
+            let half = div / 2;
+            let rounded = if r > half || (r == half && q & 1 == 1) {
+                q + 1
+            } else {
+                q
+            };
+            rounded.min(2 * one) // saturate at 2.0 (x²+y² ≤ 2)
+        };
+        // Each step rounds to w fraction bits, like chaining library ops.
+        let x2 = round_to_w((x as u128) * (x as u128), 2 * w);
+        let y2 = round_to_w((y as u128) * (y as u128), 2 * w);
+        let sum = x2 + y2; // exact add in the same format
+                           // sqrt of a w-frac value: sqrt(sum·2^-w) -> round to w frac bits.
+        let root = {
+            let s = isqrt(sum << w); // floor(sqrt(sum·2^w)) has w frac bits
+            let exact = s * s == sum << w;
+            // nearest: compare (s+0.5)² = s²+s with sum<<w
+            if !exact && (sum << w) > s * s + s {
+                s + 1
+            } else {
+                s
+            }
+        };
+        if root == 0 {
+            return Some(1 << w);
+        }
+        // divide: x/root, rounded to w frac bits:
+        // (x·2^-w) / (root·2^-w) · 2^w = (x << w) / root.
+        let num = (x as u128) << w;
+        let q = num / root;
+        let rem = num % root;
+        let rounded = if 2 * rem > root || (2 * rem == root && q & 1 == 1) {
+            q + 1
+        } else {
+            q
+        };
+        Some(rounded.min(1 << w) as u64)
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn eval_f64(&self, x: u64, y: u64) -> Option<f64> {
+        self.eval(x, y)
+            .map(|r| r as f64 * (-(self.w as f64)).exp2())
+    }
+}
+
+/// Measures both implementations over a strided grid, returning
+/// `(fused, discrete)` reports.
+#[must_use]
+pub fn compare(w: u32, stride: u64) -> (ErrorReport, ErrorReport) {
+    let fused = NormalizeFused::new(w);
+    let disc = NormalizeDiscrete::new(w);
+    let oracle = |x: u64, y: u64| {
+        let (xf, yf) = (x as f64 / (1u64 << w) as f64, y as f64 / (1u64 << w) as f64);
+        xf / (xf * xf + yf * yf).sqrt()
+    };
+    let ulp = (-(w as f64)).exp2();
+    let mut rf = ErrorReport::default();
+    let mut rd = ErrorReport::default();
+    let (mut tf, mut td) = (0.0, 0.0);
+    let mut x = 1u64;
+    while x < 1 << w {
+        let mut y = 1u64;
+        while y < 1 << w {
+            let o = oracle(x, y);
+            let ef = (fused.eval_f64(x, y).expect("nonzero") - o).abs();
+            let ed = (disc.eval_f64(x, y).expect("nonzero") - o).abs();
+            rf.max_abs = rf.max_abs.max(ef);
+            rd.max_abs = rd.max_abs.max(ed);
+            tf += ef;
+            td += ed;
+            rf.samples += 1;
+            rd.samples += 1;
+            y += stride;
+        }
+        x += stride;
+    }
+    rf.mean_abs = tf / rf.samples as f64;
+    rd.mean_abs = td / rd.samples as f64;
+    rf.max_ulp = rf.max_abs / ulp;
+    rd.max_ulp = rd.max_abs / ulp;
+    (rf, rd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_is_faithful() {
+        let (fused, _) = compare(8, 1);
+        assert!(fused.max_ulp <= 1.0 + 1e-9, "{fused}");
+    }
+
+    #[test]
+    fn fused_beats_discrete() {
+        let (fused, disc) = compare(8, 1);
+        assert!(
+            fused.max_ulp < disc.max_ulp,
+            "fused {fused} vs discrete {disc}"
+        );
+        assert!(fused.mean_abs < disc.mean_abs);
+    }
+
+    #[test]
+    fn unit_vectors_normalize_to_one() {
+        let f = NormalizeFused::new(10);
+        // y = 0, any x: result is exactly 1.0.
+        for x in [1u64, 3, 512, 1023] {
+            assert_eq!(f.eval(x, 0), Some(1 << 10), "x={x}");
+        }
+    }
+
+    #[test]
+    fn forty_five_degrees_gives_inv_sqrt2() {
+        let f = NormalizeFused::new(12);
+        let r = f.eval_f64(2048, 2048).expect("nonzero");
+        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < (2.0f64).powi(-12));
+    }
+
+    #[test]
+    fn zero_vector_is_undefined() {
+        assert_eq!(NormalizeFused::new(8).eval(0, 0), None);
+        assert_eq!(NormalizeDiscrete::new(8).eval(0, 0), None);
+    }
+
+    #[test]
+    fn wider_formats_stay_faithful() {
+        let (fused, _) = compare(12, 37);
+        assert!(fused.max_ulp <= 1.0 + 1e-9, "{fused}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Piecewise-polynomial function approximation — the "using multipliers
+//! additionally, thanks to polynomial approximation" point of §II-A's
+//! approximator spectrum.
+//!
+//! The domain `[0,1)` is cut into `2^k` segments; each segment gets a
+//! degree-`d` polynomial fitted on Chebyshev-spaced samples and evaluated
+//! in fixed point by Horner's rule with explicit intermediate truncations
+//! (the `T̄` boxes of Fig. 1). Error is measured, never assumed.
+
+use nga_fixed::{round_scaled, RoundingMode};
+
+use crate::error::ErrorReport;
+
+/// A generated piecewise-polynomial approximator for `f: [0,1) -> R`.
+#[derive(Debug, Clone)]
+pub struct PiecewisePoly {
+    seg_bits: u32,
+    in_bits: u32,
+    out_frac_bits: u32,
+    /// Coefficients per segment, degree-major (c0 first), in fixed point
+    /// with `coeff_frac_bits` fraction bits.
+    coeffs: Vec<Vec<i64>>,
+    coeff_frac_bits: u32,
+}
+
+impl PiecewisePoly {
+    /// Generates a degree-`degree` piecewise approximation with `2^seg_bits`
+    /// segments over an `in_bits`-bit input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_bits >= in_bits`, the degree is 0 or greater than 4,
+    /// or widths exceed practical table limits.
+    pub fn generate(
+        in_bits: u32,
+        seg_bits: u32,
+        degree: usize,
+        out_frac_bits: u32,
+        f: impl Fn(f64) -> f64,
+    ) -> Self {
+        assert!(seg_bits < in_bits, "need at least one bit of offset");
+        assert!((1..=4).contains(&degree), "degree 1..=4 supported");
+        assert!(in_bits <= 24 && seg_bits <= 12);
+        let coeff_frac_bits = out_frac_bits + 4 + 2 * degree as u32;
+        let segments = 1u64 << seg_bits;
+        let mut coeffs = Vec::with_capacity(segments as usize);
+        for s in 0..segments {
+            let lo = s as f64 / segments as f64;
+            let hi = (s + 1) as f64 / segments as f64;
+            let poly = fit_poly(&f, lo, hi, degree);
+            coeffs.push(
+                poly.iter()
+                    .map(|&c| {
+                        round_scaled(
+                            c * (coeff_frac_bits as f64).exp2(),
+                            RoundingMode::NearestEven,
+                        ) as i64
+                    })
+                    .collect(),
+            );
+        }
+        Self {
+            seg_bits,
+            in_bits,
+            out_frac_bits,
+            coeffs,
+            coeff_frac_bits,
+        }
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn segments(&self) -> u64 {
+        self.coeffs.len() as u64
+    }
+
+    /// Polynomial degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs[0].len() - 1
+    }
+
+    /// Multiplies needed per evaluation (Horner).
+    #[must_use]
+    pub fn mult_count(&self) -> usize {
+        self.degree()
+    }
+
+    /// Coefficient storage in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let width = self
+            .coeffs
+            .iter()
+            .flatten()
+            .map(|&c| 64 - c.unsigned_abs().leading_zeros() as u64 + 1)
+            .max()
+            .unwrap_or(1);
+        self.coeffs.len() as u64 * self.coeffs[0].len() as u64 * width
+    }
+
+    /// Evaluates the raw fixed-point output for raw input `x` using
+    /// integer Horner with truncation at each step.
+    #[must_use]
+    pub fn lookup(&self, x: u64) -> i64 {
+        debug_assert!(x < 1 << self.in_bits);
+        let offset_bits = self.in_bits - self.seg_bits;
+        let seg = (x >> offset_bits) as usize;
+        let t_raw = x & ((1 << offset_bits) - 1); // offset within segment
+                                                  // t in [0,1) with offset_bits fraction bits.
+        let cs = &self.coeffs[seg];
+        // Horner: acc = c_d; acc = acc*t + c_{d-1}; ...
+        // acc carries coeff_frac_bits fraction bits throughout; each
+        // multiply by t adds offset_bits then truncates them away.
+        let mut acc: i128 = *cs.last().expect("nonempty") as i128;
+        for &c in cs.iter().rev().skip(1) {
+            let prod = acc * t_raw as i128; // frac: coeff + offset bits
+            let truncated = prod >> offset_bits; // back to coeff_frac_bits
+            acc = truncated + c as i128;
+        }
+        // Final rounding to the output format.
+        let drop = self.coeff_frac_bits - self.out_frac_bits;
+        let div = 1i128 << drop;
+        let q = acc.div_euclid(div);
+        let r = acc.rem_euclid(div);
+        let half = div / 2;
+        (if r > half || (r == half && q % 2 != 0) {
+            q + 1
+        } else {
+            q
+        }) as i64
+    }
+
+    /// Evaluates as a real value.
+    #[must_use]
+    pub fn lookup_f64(&self, x: u64) -> f64 {
+        self.lookup(x) as f64 * (-(self.out_frac_bits as f64)).exp2()
+    }
+
+    /// Measures against the oracle (exhaustive up to 2^20 inputs).
+    pub fn measure(&self, f: impl Fn(f64) -> f64) -> ErrorReport {
+        let n = self.in_bits;
+        ErrorReport::measure(
+            0..1 << n,
+            self.out_frac_bits,
+            |x| self.lookup_f64(x),
+            |x| f(x as f64 / (1u64 << n) as f64),
+        )
+    }
+}
+
+/// Least-squares fit of a degree-`d` polynomial in the segment-local
+/// variable `t ∈ [0,1)`, sampled at Chebyshev nodes (damps the endpoint
+/// error spikes a uniform fit would have).
+fn fit_poly(f: impl Fn(f64) -> f64, lo: f64, hi: f64, degree: usize) -> Vec<f64> {
+    let m = 8 * (degree + 1); // oversampled
+    let nodes: Vec<f64> = (0..m)
+        .map(|i| 0.5 - 0.5 * ((2 * i + 1) as f64 * std::f64::consts::PI / (2 * m) as f64).cos())
+        .collect();
+    // Normal equations A^T A c = A^T y for the Vandermonde system.
+    let cols = degree + 1;
+    let mut ata = vec![vec![0.0f64; cols]; cols];
+    let mut aty = vec![0.0f64; cols];
+    for &t in &nodes {
+        let x = lo + t * (hi - lo);
+        let y = f(x);
+        let mut pow = vec![1.0f64; cols];
+        for p in 1..cols {
+            pow[p] = pow[p - 1] * t;
+        }
+        for i in 0..cols {
+            aty[i] += pow[i] * y;
+            for j in 0..cols {
+                ata[i][j] += pow[i] * pow[j];
+            }
+        }
+    }
+    solve_dense(&mut ata, &mut aty);
+    aty
+}
+
+/// Gaussian elimination with partial pivoting on a small dense system.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("nonempty");
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-30, "singular normal equations");
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / d;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for i in 0..n {
+        b[i] /= a[i][i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree2_exp_is_faithful() {
+        let f = |x: f64| x.exp() - 1.0;
+        let p = PiecewisePoly::generate(14, 5, 2, 12, f);
+        let r = p.measure(f);
+        assert!(r.max_ulp <= 1.0 + 1e-9, "{r}");
+    }
+
+    #[test]
+    fn higher_degree_needs_fewer_segments() {
+        let f = |x: f64| (1.0 + x).recip();
+        let d1 = PiecewisePoly::generate(12, 6, 1, 10, f).measure(f);
+        let d2 = PiecewisePoly::generate(12, 3, 2, 10, f).measure(f);
+        // Degree 2 with 8 segments matches degree 1 with 64 segments.
+        assert!(d1.max_ulp <= 1.0 + 1e-9, "{d1}");
+        assert!(d2.max_ulp <= 1.5, "{d2}");
+    }
+
+    #[test]
+    fn storage_vs_multiplier_tradeoff_is_visible() {
+        let f = |x: f64| (x * std::f64::consts::FRAC_PI_2).sin();
+        let shallow = PiecewisePoly::generate(12, 6, 1, 10, f);
+        let deep = PiecewisePoly::generate(12, 2, 3, 10, f);
+        assert!(shallow.mult_count() < deep.mult_count());
+        assert!(shallow.storage_bits() > deep.storage_bits());
+        assert!(shallow.measure(f).max_ulp <= 1.0 + 1e-9);
+        assert!(deep.measure(f).max_ulp <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn exact_polynomials_reproduce_exactly_at_midpoints() {
+        // f is itself degree 1: t/2 — fit must be essentially exact.
+        let f = |x: f64| x / 2.0;
+        let p = PiecewisePoly::generate(10, 2, 1, 8, f);
+        let r = p.measure(f);
+        assert!(r.max_ulp <= 0.5 + 0.02, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_zero_rejected() {
+        let _ = PiecewisePoly::generate(10, 2, 0, 8, |x| x);
+    }
+}

@@ -1,0 +1,319 @@
+//! The Fig. 1 parametric fixed-point sine/cosine generator.
+//!
+//! The input is a `w`-bit angle in turns (full circle = `2^w`); the
+//! outputs are sine and cosine in signed fixed point with `out_frac`
+//! fraction bits. The architecture follows the paper's figure:
+//!
+//! 1. two quadrant bits select symmetry (free in hardware),
+//! 2. the remaining bits split into a table field `A` and a residual `B`
+//!    ("the size of the sub-word A controls a trade-off between table
+//!    size and multiplier size"),
+//! 3. tables give `sin`/`cos` at the `A` grid,
+//! 4. small multipliers apply the angle-addition identity with truncated
+//!    Taylor corrections for the residual angle (the `T̄` truncation boxes),
+//! 5. one rounding to the output format.
+//!
+//! Every intermediate width is derived from the generator parameters, and
+//! accuracy is *measured* exhaustively — the §II-C methodology.
+
+use nga_fixed::{round_scaled, RoundingMode};
+
+use crate::error::ErrorReport;
+
+/// Cost summary of one generated sine/cosine operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinCosCost {
+    /// Total table storage in bits (both tables).
+    pub table_bits: u64,
+    /// Multiplier area proxy: sum over multipliers of the product of
+    /// operand widths.
+    pub mult_area: u64,
+    /// Word-level adders.
+    pub adders: u32,
+}
+
+impl SinCosCost {
+    /// A single scalar for exploration: table bits + weighted mult area.
+    #[must_use]
+    pub fn score(&self) -> u64 {
+        self.table_bits + 2 * self.mult_area + 16 * u64::from(self.adders)
+    }
+}
+
+/// A generated fixed-point sine/cosine operator.
+#[derive(Debug, Clone)]
+pub struct SinCos {
+    in_bits: u32,
+    table_bits: u32,
+    out_frac: u32,
+    f: u32, // internal fraction bits
+    degree: u32,
+    sin_table: Vec<i64>,
+    cos_table: Vec<i64>,
+    /// θ_B scale constant: π/2 · 2^(f+20) / 2^(in_bits-2).
+    theta_k: i128,
+}
+
+impl SinCos {
+    /// Generates the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits` is not in `4..=20`, or `table_bits` leaves no
+    /// residual bits, or `out_frac` exceeds 24.
+    #[must_use]
+    pub fn generate(in_bits: u32, table_bits: u32, out_frac: u32) -> Self {
+        assert!((4..=20).contains(&in_bits), "in_bits out of range");
+        assert!(out_frac <= 24);
+        let quarter_bits = in_bits - 2;
+        assert!(
+            table_bits >= 1 && table_bits <= quarter_bits,
+            "table field must fit in the quarter phase"
+        );
+        let f = out_frac + 6; // guard bits
+        let scale = (f as f64).exp2();
+        let mut sin_table = Vec::with_capacity(1 << table_bits);
+        let mut cos_table = Vec::with_capacity(1 << table_bits);
+        for a in 0u64..1 << table_bits {
+            let theta = std::f64::consts::FRAC_PI_2 * a as f64 / (1u64 << table_bits) as f64;
+            sin_table.push(round_scaled(theta.sin() * scale, RoundingMode::NearestEven) as i64);
+            cos_table.push(round_scaled(theta.cos() * scale, RoundingMode::NearestEven) as i64);
+        }
+        let theta_k = round_scaled(
+            std::f64::consts::FRAC_PI_2 * ((f + 20) as f64).exp2() / (1u64 << quarter_bits) as f64,
+            RoundingMode::NearestEven,
+        );
+        // Correction degree (the other side of the Fig. 1 trade-off): the
+        // residual angle is θ_B < (π/2)·2^-A, so the Taylor truncation
+        // error θ^(d+1)/(d+1)! must sit below half an output ulp. Larger
+        // tables buy lower-degree (fewer-multiplier) corrections.
+        let degree = if 2 * table_bits >= out_frac + 4 {
+            1
+        } else if 3 * table_bits >= out_frac + 5 {
+            2
+        } else {
+            3
+        };
+        Self {
+            in_bits,
+            table_bits,
+            out_frac,
+            f,
+            degree,
+            sin_table,
+            cos_table,
+            theta_k,
+        }
+    }
+
+    /// The Taylor correction degree the generator selected.
+    #[must_use]
+    pub fn correction_degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Input width in bits.
+    #[must_use]
+    pub fn in_bits(&self) -> u32 {
+        self.in_bits
+    }
+
+    /// Table index width (the Fig. 1 parameter `A`).
+    #[must_use]
+    pub fn table_bits(&self) -> u32 {
+        self.table_bits
+    }
+
+    /// Output fraction bits.
+    #[must_use]
+    pub fn out_frac(&self) -> u32 {
+        self.out_frac
+    }
+
+    /// Evaluates `(sin, cos)` of `x / 2^in_bits` turns, as raw fixed-point
+    /// integers with [`Self::out_frac`] fraction bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` is out of range.
+    #[must_use]
+    pub fn eval(&self, x: u64) -> (i64, i64) {
+        debug_assert!(x < 1u64 << self.in_bits);
+        let quarter_bits = self.in_bits - 2;
+        let q = x >> quarter_bits;
+        let y = x & ((1 << quarter_bits) - 1);
+        let b_bits = quarter_bits - self.table_bits;
+        let a = (y >> b_bits) as usize;
+        let b = y & ((1 << b_bits) - 1);
+
+        let f = self.f;
+        // θ_B in radians, f fraction bits.
+        let theta_b = (b as i128 * self.theta_k) >> 20;
+        // Degree-selected Taylor correction of the residual angle.
+        let (sin_b, cos_b) = match self.degree {
+            1 => (theta_b, 1i128 << f),
+            2 => {
+                let t2 = (theta_b * theta_b) >> f;
+                (theta_b, (1i128 << f) - t2 / 2)
+            }
+            _ => {
+                let t2 = (theta_b * theta_b) >> f;
+                let t3 = (t2 * theta_b) >> f;
+                (theta_b - t3 / 6, (1i128 << f) - t2 / 2)
+            }
+        };
+
+        let sin_a = self.sin_table[a] as i128;
+        let cos_a = self.cos_table[a] as i128;
+        // Angle addition with truncation back to f fraction bits. With a
+        // degree-1 correction cos θ_B == 1 exactly, so two of the four
+        // products degenerate to wires.
+        let s = (sin_a * cos_b + cos_a * sin_b) >> f;
+        let c = (cos_a * cos_b - sin_a * sin_b) >> f;
+
+        // Quadrant symmetry.
+        let (sq, cq) = match q {
+            0 => (s, c),
+            1 => (c, -s),
+            2 => (-s, -c),
+            _ => (-c, s),
+        };
+        // Final rounding to out_frac.
+        let drop = f - self.out_frac;
+        let round = |v: i128| -> i64 {
+            let div = 1i128 << drop;
+            let q0 = v.div_euclid(div);
+            let r = v.rem_euclid(div);
+            let half = div / 2;
+            (if r > half || (r == half && q0 % 2 != 0) {
+                q0 + 1
+            } else {
+                q0
+            }) as i64
+        };
+        (round(sq), round(cq))
+    }
+
+    /// Evaluates as real values.
+    #[must_use]
+    pub fn eval_f64(&self, x: u64) -> (f64, f64) {
+        let (s, c) = self.eval(x);
+        let ulp = (-(self.out_frac as f64)).exp2();
+        (s as f64 * ulp, c as f64 * ulp)
+    }
+
+    /// Exhaustive error measurement of both outputs.
+    #[must_use]
+    pub fn measure(&self) -> (ErrorReport, ErrorReport) {
+        let n = self.in_bits;
+        let turn = |x: u64| x as f64 / (1u64 << n) as f64 * std::f64::consts::TAU;
+        let sin = ErrorReport::measure(
+            0..1 << n,
+            self.out_frac,
+            |x| self.eval_f64(x).0,
+            |x| turn(x).sin(),
+        );
+        let cos = ErrorReport::measure(
+            0..1 << n,
+            self.out_frac,
+            |x| self.eval_f64(x).1,
+            |x| turn(x).cos(),
+        );
+        (sin, cos)
+    }
+
+    /// Cost model per §II-C ("express the cost of the architecture").
+    #[must_use]
+    pub fn cost(&self) -> SinCosCost {
+        let entry_bits = u64::from(self.f) + 2;
+        let table_bits = 2 * (1u64 << self.table_bits) * entry_bits;
+        let w = u64::from(self.f);
+        let b_bits = u64::from(self.in_bits - 2 - self.table_bits);
+        // Multipliers: the θ_B constant multiply (b_bits × 22) plus the
+        // degree-dependent products — θ-power multiplies (degree-1 of
+        // them) and the angle-addition products (2 when cos θ_B == 1,
+        // else 4).
+        let products = match self.degree {
+            1 => 2,
+            2 => 1 + 4,
+            _ => 2 + 4,
+        };
+        let mult_area = b_bits * 22 + products * w * w;
+        SinCosCost {
+            table_bits,
+            mult_area,
+            adders: 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sin_cos_is_faithful_at_moderate_precision() {
+        let g = SinCos::generate(12, 6, 10);
+        let (s, c) = g.measure();
+        assert!(s.max_ulp <= 1.0 + 1e-9, "sin: {s}");
+        assert!(c.max_ulp <= 1.0 + 1e-9, "cos: {c}");
+    }
+
+    #[test]
+    fn quadrant_symmetry_is_exact() {
+        let g = SinCos::generate(12, 5, 10);
+        let quarter = 1u64 << 10;
+        for y in (0..quarter).step_by(17) {
+            let (s0, c0) = g.eval(y);
+            let (s1, c1) = g.eval(y + quarter);
+            assert_eq!(s1, c0, "sin(x+90°) = cos(x)");
+            assert_eq!(c1, -s0, "cos(x+90°) = -sin(x)");
+            let (s2, c2) = g.eval(y + 2 * quarter);
+            assert_eq!((s2, c2), (-s0, -c0));
+        }
+    }
+
+    #[test]
+    fn pythagorean_identity_approximately_holds() {
+        let g = SinCos::generate(12, 6, 12);
+        let ulp = (2.0f64).powi(-12);
+        for x in (0..(1u64 << 12)).step_by(7) {
+            let (s, c) = g.eval_f64(x);
+            let r = s * s + c * c;
+            assert!((r - 1.0).abs() < 8.0 * ulp, "s²+c² = {r} at {x}");
+        }
+    }
+
+    #[test]
+    fn cardinal_points_are_exact() {
+        let g = SinCos::generate(12, 6, 10);
+        let (s, c) = g.eval(0);
+        assert_eq!((s, c), (0, 1 << 10), "sin 0 = 0, cos 0 = 1");
+        let (s, c) = g.eval(1 << 10); // quarter turn
+        assert_eq!((s, c), (1 << 10, 0), "sin 90° = 1, cos 90° = 0");
+        let (s, c) = g.eval(1 << 11); // half turn
+        assert_eq!((s, c), (0, -(1 << 10)));
+    }
+
+    #[test]
+    fn table_split_trades_table_bits_for_multiplier_area() {
+        // The Fig. 1 parameter A: larger tables, same accuracy target.
+        let small_table = SinCos::generate(14, 4, 10);
+        let big_table = SinCos::generate(14, 9, 10);
+        assert!(small_table.cost().table_bits < big_table.cost().table_bits);
+        // Both remain accurate: the residual-angle correction compensates.
+        assert!(small_table.measure().0.max_ulp <= 1.0 + 1e-9);
+        assert!(big_table.measure().0.max_ulp <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn accuracy_tracks_output_format() {
+        // §II-B: no bits that carry no information — each extra output bit
+        // keeps faithfulness because internal precision follows out_frac.
+        for out in [6, 8, 10, 12] {
+            let g = SinCos::generate(14, 7, out);
+            let (s, _) = g.measure();
+            assert!(s.max_ulp <= 1.0 + 1e-9, "out={out}: {s}");
+        }
+    }
+}

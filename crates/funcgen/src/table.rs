@@ -1,0 +1,153 @@
+//! Plain tabulation: the simplest FloPoCo-style function approximator
+//! (§II-A "by using plain tabulation"), and the §II-B interface rule —
+//! the accuracy is *deduced from the output format*, never specified
+//! separately.
+
+use nga_fixed::{round_scaled, RoundingMode};
+
+use crate::error::ErrorReport;
+
+/// A correctly rounded lookup table for `f: [0,1) -> R` with fixed-point
+/// input and output.
+///
+/// ```
+/// use nga_funcgen::table::PlainTable;
+/// // An 8-bit-in, 8-bit-out reciprocal-ish table for 1/(1+x).
+/// let t = PlainTable::generate(8, 8, |x| 1.0 / (1.0 + x));
+/// let report = t.measure(|x| 1.0 / (1.0 + x));
+/// assert!(report.max_ulp <= 0.5 + 1e-9, "correct rounding");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlainTable {
+    in_bits: u32,
+    out_frac_bits: u32,
+    entries: Vec<i64>,
+}
+
+impl PlainTable {
+    /// Generates the table by brute-force enumeration, rounding each entry
+    /// to nearest — the "inelegant enumeration" §II-C explicitly blesses.
+    pub fn generate(in_bits: u32, out_frac_bits: u32, f: impl Fn(f64) -> f64) -> Self {
+        assert!(in_bits <= 20, "plain tables explode beyond ~2^20 entries");
+        let entries = (0u64..1 << in_bits)
+            .map(|i| {
+                let x = i as f64 / (1u64 << in_bits) as f64;
+                round_scaled(
+                    f(x) * (out_frac_bits as f64).exp2(),
+                    RoundingMode::NearestEven,
+                ) as i64
+            })
+            .collect();
+        Self {
+            in_bits,
+            out_frac_bits,
+            entries,
+        }
+    }
+
+    /// Input width in bits.
+    #[must_use]
+    pub fn in_bits(&self) -> u32 {
+        self.in_bits
+    }
+
+    /// Output fraction bits.
+    #[must_use]
+    pub fn out_frac_bits(&self) -> u32 {
+        self.out_frac_bits
+    }
+
+    /// Looks up the raw output for raw input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the input range.
+    #[must_use]
+    pub fn lookup(&self, x: u64) -> i64 {
+        self.entries[x as usize]
+    }
+
+    /// Looks up as a real value.
+    #[must_use]
+    pub fn lookup_f64(&self, x: u64) -> f64 {
+        self.lookup(x) as f64 * (-(self.out_frac_bits as f64)).exp2()
+    }
+
+    /// Number of stored bits (entries × width of the widest entry).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let max = self
+            .entries
+            .iter()
+            .map(|&e| 64 - e.unsigned_abs().leading_zeros() as u64 + 1)
+            .max()
+            .unwrap_or(1);
+        (self.entries.len() as u64) * max
+    }
+
+    /// 6-input-LUT count on an FPGA: `2^(in_bits-6)` LUTs per output bit
+    /// (§II-A: tables of 64 entries are one LUT "however random these
+    /// entries may seem").
+    #[must_use]
+    pub fn lut6_count(&self) -> u64 {
+        let per_bit = 1u64 << self.in_bits.saturating_sub(6);
+        let width = (self.storage_bits() / self.entries.len() as u64).max(1);
+        per_bit * width
+    }
+
+    /// Exhaustively measures the table against the oracle.
+    pub fn measure(&self, f: impl Fn(f64) -> f64) -> ErrorReport {
+        ErrorReport::measure(
+            0..1 << self.in_bits,
+            self.out_frac_bits,
+            |x| self.lookup_f64(x),
+            |x| f(x as f64 / (1u64 << self.in_bits) as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_correctly_rounded() {
+        let t = PlainTable::generate(8, 10, |x| (x * std::f64::consts::PI / 4.0).sin());
+        let r = t.measure(|x| (x * std::f64::consts::PI / 4.0).sin());
+        assert!(r.max_ulp <= 0.5 + 1e-9, "{r}");
+        assert_eq!(r.samples, 256);
+    }
+
+    #[test]
+    fn more_output_bits_do_not_change_ulp_accuracy() {
+        // §II-B: accuracy tracks the output format.
+        for out in [6, 8, 12, 16] {
+            let t = PlainTable::generate(8, out, |x| x * x);
+            let r = t.measure(|x| x * x);
+            assert!(r.max_ulp <= 0.5 + 1e-9, "out={out}: {r}");
+        }
+    }
+
+    #[test]
+    fn lut_count_follows_the_64_entry_rule() {
+        let t = PlainTable::generate(6, 8, |x| x);
+        // 2^6 entries = 1 LUT per output bit.
+        assert_eq!(t.lut6_count(), t.storage_bits() / 64);
+        let t10 = PlainTable::generate(10, 8, |x| x);
+        assert_eq!(t10.lut6_count() % 16, 0, "2^4 LUTs per output bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "explode")]
+    fn oversized_tables_rejected() {
+        let _ = PlainTable::generate(24, 8, |x| x);
+    }
+
+    #[test]
+    fn negative_outputs_are_representable() {
+        let t = PlainTable::generate(8, 8, |x| -x);
+        assert!(t.lookup(128) < 0);
+        let r = t.measure(|x| -x);
+        assert!(r.max_ulp <= 0.5 + 1e-9);
+    }
+}

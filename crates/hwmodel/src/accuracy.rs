@@ -1,0 +1,229 @@
+//! The Fig. 9/10 decimal-accuracy profiles of 16-bit formats.
+//!
+//! Fig. 9 plots decimal accuracy against the log-magnitude of the value:
+//! fixed point ramps up to its overflow cliff, floats are flat with a
+//! subnormal taper, posits form "an isosceles triangle centered at
+//! magnitude zero". Fig. 10 plots the same accuracy against the bit
+//! string itself (0..32767 for the positive half), exposing the dynamic
+//! ranges: ~17 decades for posit16, ~9 for binary16 normals, ~76 for
+//! bfloat16, <5 for fixed point.
+
+use nga_core::{decimal_accuracy, Posit, PositFormat};
+use nga_fixed::FixedFormat;
+use nga_softfloat::{FloatClass, FloatFormat, SoftFloat};
+
+/// The four 16-bit format families compared in Figs. 9/10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format16 {
+    /// Signed fixed point Q8.8 (a representative 16-bit split).
+    Fixed,
+    /// IEEE binary16.
+    Float,
+    /// bfloat16.
+    Bfloat,
+    /// posit16 `{16,1}`.
+    Posit,
+}
+
+impl Format16 {
+    /// All four formats in plot order.
+    pub const ALL: [Self; 4] = [Self::Fixed, Self::Float, Self::Bfloat, Self::Posit];
+
+    /// Short label for table output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Fixed => "fixed Q8.8",
+            Self::Float => "binary16",
+            Self::Bfloat => "bfloat16",
+            Self::Posit => "posit16",
+        }
+    }
+}
+
+/// Decimal accuracy of `format` at magnitude `x` (Fig. 9's y-axis):
+/// `-log10` of the worst relative error of rounding values near `x`.
+/// `None` outside the representable range.
+#[must_use]
+pub fn decimal_accuracy_at(format: Format16, x: f64) -> Option<f64> {
+    if !(x.is_finite()) || x <= 0.0 {
+        return None;
+    }
+    match format {
+        Format16::Fixed => FixedFormat::signed(8, 8)
+            .expect("valid format")
+            .decimal_accuracy_at(x),
+        Format16::Float => float_accuracy_at(FloatFormat::BINARY16, x),
+        Format16::Bfloat => float_accuracy_at(FloatFormat::BFLOAT16, x),
+        Format16::Posit => {
+            let p = Posit::from_f64(x, PositFormat::POSIT16);
+            // Saturated values are out of range.
+            if p.bits() == Posit::maxpos(PositFormat::POSIT16).bits()
+                && x > PositFormat::POSIT16.maxpos()
+            {
+                return None;
+            }
+            if p.bits() == Posit::minpos(PositFormat::POSIT16).bits()
+                && x < PositFormat::POSIT16.minpos()
+            {
+                return None;
+            }
+            decimal_accuracy(p)
+        }
+    }
+}
+
+fn float_accuracy_at(fmt: FloatFormat, x: f64) -> Option<f64> {
+    let f = SoftFloat::from_f64(x, fmt);
+    match f.class() {
+        FloatClass::Normal | FloatClass::Subnormal => {
+            // Half the local gap, relative to x.
+            let bits = f.bits();
+            let up = SoftFloat::from_bits(bits + 1, fmt);
+            if up.is_infinite() || up.is_nan() {
+                return None;
+            }
+            let gap = up.to_f64() - f.to_f64();
+            Some(-((gap / 2.0 / x).abs().log10()))
+        }
+        _ => None,
+    }
+}
+
+/// One point of the Fig. 10 series: positive-half bit string index →
+/// `(value, decimal accuracy)`.
+#[must_use]
+pub fn fig10_point(format: Format16, index: u16) -> Option<(f64, f64)> {
+    if index == 0 {
+        return None;
+    }
+    let bits = u64::from(index);
+    match format {
+        Format16::Fixed => {
+            let v = bits as f64 * (2.0f64).powi(-8); // Q8.8 positive half
+            decimal_accuracy_at(Format16::Fixed, v).map(|a| (v, a))
+        }
+        Format16::Float => {
+            let f = SoftFloat::from_bits(bits, FloatFormat::BINARY16);
+            if !f.is_finite() || f.is_zero() {
+                return None;
+            }
+            decimal_accuracy_at(Format16::Float, f.to_f64()).map(|a| (f.to_f64(), a))
+        }
+        Format16::Bfloat => {
+            let f = SoftFloat::from_bits(bits, FloatFormat::BFLOAT16);
+            if !f.is_finite() || f.is_zero() {
+                return None;
+            }
+            decimal_accuracy_at(Format16::Bfloat, f.to_f64()).map(|a| (f.to_f64(), a))
+        }
+        Format16::Posit => {
+            let p = Posit::from_bits(bits, PositFormat::POSIT16);
+            decimal_accuracy(p).map(|a| (p.to_f64(), a))
+        }
+    }
+}
+
+/// Dynamic range of the format in decimal orders of magnitude (the
+/// Fig. 10 discussion).
+#[must_use]
+pub fn dynamic_range_decades(format: Format16) -> f64 {
+    match format {
+        Format16::Fixed => {
+            let f = FixedFormat::signed(8, 8).expect("valid format");
+            (f.max_value() / f.ulp()).log10()
+        }
+        Format16::Float => nga_softfloat::dynamic_range_decades(FloatFormat::BINARY16, false),
+        Format16::Bfloat => nga_softfloat::dynamic_range_decades(FloatFormat::BFLOAT16, false),
+        Format16::Posit => PositFormat::POSIT16.dynamic_range_decades(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shapes() {
+        // Fixed point: accuracy grows with magnitude (triangular ramp).
+        let f_small = decimal_accuracy_at(Format16::Fixed, 0.1).expect("in range");
+        let f_big = decimal_accuracy_at(Format16::Fixed, 100.0).expect("in range");
+        assert!(f_big > f_small);
+        // Float: flat across the normal range.
+        let fl_1 = decimal_accuracy_at(Format16::Float, 1.3).expect("in range");
+        let fl_100 = decimal_accuracy_at(Format16::Float, 133.0).expect("in range");
+        assert!((fl_1 - fl_100).abs() < 0.35, "{fl_1} vs {fl_100}");
+        // Posit: triangle peaked at 1.
+        let p_1 = decimal_accuracy_at(Format16::Posit, 1.1).expect("in range");
+        let p_100 = decimal_accuracy_at(Format16::Posit, 110.0).expect("in range");
+        let p_10k = decimal_accuracy_at(Format16::Posit, 1.1e4).expect("in range");
+        assert!(p_1 > p_100 && p_100 > p_10k);
+    }
+
+    #[test]
+    fn posits_beat_floats_in_the_common_range() {
+        // §V: "for the most common values in the range of about 0.01 to
+        // 100, posits have higher accuracy than IEEE floats and bfloats".
+        for x in [0.1, 1.0, 3.0, 8.0] {
+            let p = decimal_accuracy_at(Format16::Posit, x).expect("in range");
+            let f = decimal_accuracy_at(Format16::Float, x).expect("in range");
+            let b = decimal_accuracy_at(Format16::Bfloat, x).expect("in range");
+            assert!(p > f, "posit {p} vs float {f} at {x}");
+            assert!(p > b, "posit {p} vs bfloat {b} at {x}");
+        }
+        // At the edges of the 0.01..100 window the lead narrows to a tie
+        // (the regime has eaten the extra fraction bits).
+        for x in [0.02, 50.0] {
+            let p = decimal_accuracy_at(Format16::Posit, x).expect("in range");
+            let f = decimal_accuracy_at(Format16::Float, x).expect("in range");
+            assert!(p >= f - 1e-9, "posit {p} vs float {f} at {x}");
+        }
+        // ... but less accuracy outside it.
+        let x = 1.0e7;
+        let p = decimal_accuracy_at(Format16::Posit, x).expect("in range");
+        let b = decimal_accuracy_at(Format16::Bfloat, x).expect("in range");
+        assert!(p < b, "far from 1, bfloat wins: {p} vs {b}");
+    }
+
+    #[test]
+    fn dynamic_ranges_match_the_paper() {
+        let p = dynamic_range_decades(Format16::Posit);
+        assert!((16.5..17.0).contains(&p), "posit16 ~17 decades: {p}");
+        let f = dynamic_range_decades(Format16::Float);
+        assert!((8.9..9.6).contains(&f), "binary16 ~9 decades: {f}");
+        let b = dynamic_range_decades(Format16::Bfloat);
+        assert!((75.0..78.0).contains(&b), "bfloat16 ~76 decades: {b}");
+        let x = dynamic_range_decades(Format16::Fixed);
+        assert!(x < 5.0, "fixed <5 decades: {x}");
+    }
+
+    #[test]
+    fn fig10_posit_accuracy_is_near_fixed_point_at_its_peak() {
+        // §V: "16-bit posits have nearly the accuracy of fixed-point
+        // representation, but also provide a large dynamic range".
+        let peak_posit = fig10_point(Format16::Posit, 0x4000).expect("one").1;
+        let fixed_top = fig10_point(Format16::Fixed, u16::MAX / 2).expect("big").1;
+        assert!(
+            (fixed_top - peak_posit).abs() < 1.2,
+            "posit peak {peak_posit} vs fixed top {fixed_top}"
+        );
+    }
+
+    #[test]
+    fn fig10_series_have_expected_lengths() {
+        let mut posit_points = 0;
+        let mut float_points = 0;
+        for i in 1..0x8000u16 {
+            if fig10_point(Format16::Posit, i).is_some() {
+                posit_points += 1;
+            }
+            if fig10_point(Format16::Float, i).is_some() {
+                float_points += 1;
+            }
+        }
+        // Posit: all positive reals except maxpos boundary effects.
+        assert!(posit_points > 0x7FF0, "posit covers the half ring");
+        // Float: NaN/inf band and the very top normal excluded.
+        assert!(float_points > 0x7BF0 - 16);
+    }
+}

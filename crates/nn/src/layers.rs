@@ -1,0 +1,923 @@
+//! Layers and the float reference network: convolution, fully-connected,
+//! ReLU, pooling, flatten and residual blocks — everything the paper's
+//! three models (ResNet20, KWS-CNN1, KWS-CNN2) are made of.
+//!
+//! Forward/backward are straightforward nested loops: this substrate
+//! favours being *obviously correct* (so the arithmetic experiments above
+//! it are trustworthy) over speed; the experiment binaries run in release
+//! mode where this is fast enough for the paper's scaled workloads.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// A 2-D convolution with square kernels, stride and zero padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Weights `[out, in, k, k]`.
+    pub weights: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every edge.
+    pub pad: usize,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    vel_w: Tensor,
+    vel_b: Tensor,
+    cache_in: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    #[must_use]
+    pub fn new(
+        rng: &mut StdRng,
+        out_ch: usize,
+        in_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let fan_in = (in_ch * k * k) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let n = out_ch * in_ch * k * k;
+        let data = (0..n).map(|_| sample_normal(rng) * std).collect();
+        Self {
+            weights: Tensor::from_vec(&[out_ch, in_ch, k, k], data),
+            bias: Tensor::zeros(&[out_ch]),
+            stride,
+            pad,
+            grad_w: Tensor::zeros(&[out_ch, in_ch, k, k]),
+            grad_b: Tensor::zeros(&[out_ch]),
+            vel_w: Tensor::zeros(&[out_ch, in_ch, k, k]),
+            vel_b: Tensor::zeros(&[out_ch]),
+            cache_in: None,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    #[must_use]
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = (in_shape[1], in_shape[2]);
+        let k = self.weights.shape()[2];
+        let oh = (h + 2 * self.pad - k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - k) / self.stride + 1;
+        vec![self.weights.shape()[0], oh, ow]
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> Tensor {
+        let [out_ch, in_ch, k, _] = *self.weights.shape() else {
+            unreachable!("conv weights are 4-D")
+        };
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let os = self.out_shape(x.shape());
+        let (oh, ow) = (os[1], os[2]);
+        let mut y = Tensor::zeros(&os);
+        for oc in 0..out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias.data()[oc];
+                    for ic in 0..in_ch {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = self.weights.data()[((oc * in_ch + ic) * k + ky) * k + kx];
+                                acc += wv * x.at3(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    *y.at3_mut(oc, oy, ox) = acc;
+                }
+            }
+        }
+        y
+    }
+
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
+        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+        let [out_ch, in_ch, k, _] = *self.weights.shape() else {
+            unreachable!()
+        };
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (grad_y.shape()[1], grad_y.shape()[2]);
+        let mut grad_x = Tensor::zeros(x.shape());
+        for oc in 0..out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_y.at3(oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_b.data_mut()[oc] += g;
+                    for ic in 0..in_ch {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = ((oc * in_ch + ic) * k + ky) * k + kx;
+                                self.grad_w.data_mut()[widx] +=
+                                    g * x.at3(ic, iy as usize, ix as usize);
+                                *grad_x.at3_mut(ic, iy as usize, ix as usize) +=
+                                    g * self.weights.data()[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_x
+    }
+}
+
+/// A depthwise 2-D convolution: each channel is convolved with its own
+/// `k×k` kernel (the building block of depthwise-separable CNNs like the
+/// Hello-Edge DS-CNN keyword spotters).
+#[derive(Debug, Clone)]
+pub struct DwConv2d {
+    /// Weights `[ch, k, k]`.
+    pub weights: Tensor,
+    /// Bias `[ch]`.
+    pub bias: Tensor,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every edge.
+    pub pad: usize,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    vel_w: Tensor,
+    vel_b: Tensor,
+    cache_in: Option<Tensor>,
+}
+
+impl DwConv2d {
+    /// He-initialized depthwise convolution.
+    #[must_use]
+    pub fn new(rng: &mut StdRng, ch: usize, k: usize, stride: usize, pad: usize) -> Self {
+        let std = (2.0 / (k * k) as f32).sqrt();
+        let data = (0..ch * k * k).map(|_| sample_normal(rng) * std).collect();
+        Self {
+            weights: Tensor::from_vec(&[ch, k, k], data),
+            bias: Tensor::zeros(&[ch]),
+            stride,
+            pad,
+            grad_w: Tensor::zeros(&[ch, k, k]),
+            grad_b: Tensor::zeros(&[ch]),
+            vel_w: Tensor::zeros(&[ch, k, k]),
+            vel_b: Tensor::zeros(&[ch]),
+            cache_in: None,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    #[must_use]
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = (in_shape[1], in_shape[2]);
+        let k = self.weights.shape()[1];
+        let oh = (h + 2 * self.pad - k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - k) / self.stride + 1;
+        vec![in_shape[0], oh, ow]
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> Tensor {
+        let [ch, k, _] = *self.weights.shape() else {
+            unreachable!("dwconv weights are 3-D")
+        };
+        assert_eq!(x.shape()[0], ch, "channel count");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let os = self.out_shape(x.shape());
+        let (oh, ow) = (os[1], os[2]);
+        let mut y = Tensor::zeros(&os);
+        for c in 0..ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias.data()[c];
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += self.weights.data()[(c * k + ky) * k + kx]
+                                * x.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                    *y.at3_mut(c, oy, ox) = acc;
+                }
+            }
+        }
+        y
+    }
+
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
+        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+        let [ch, k, _] = *self.weights.shape() else {
+            unreachable!()
+        };
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (grad_y.shape()[1], grad_y.shape()[2]);
+        let mut grad_x = Tensor::zeros(x.shape());
+        for c in 0..ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_y.at3(c, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_b.data_mut()[c] += g;
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let widx = (c * k + ky) * k + kx;
+                            self.grad_w.data_mut()[widx] += g * x.at3(c, iy as usize, ix as usize);
+                            *grad_x.at3_mut(c, iy as usize, ix as usize) +=
+                                g * self.weights.data()[widx];
+                        }
+                    }
+                }
+            }
+        }
+        grad_x
+    }
+}
+
+/// A fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights `[out, in]`.
+    pub weights: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    vel_w: Tensor,
+    vel_b: Tensor,
+    cache_in: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-initialized dense layer.
+    #[must_use]
+    pub fn new(rng: &mut StdRng, out: usize, input: usize) -> Self {
+        let std = (2.0 / input as f32).sqrt();
+        let data = (0..out * input).map(|_| sample_normal(rng) * std).collect();
+        Self {
+            weights: Tensor::from_vec(&[out, input], data),
+            bias: Tensor::zeros(&[out]),
+            grad_w: Tensor::zeros(&[out, input]),
+            grad_b: Tensor::zeros(&[out]),
+            vel_w: Tensor::zeros(&[out, input]),
+            vel_b: Tensor::zeros(&[out]),
+            cache_in: None,
+        }
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> Tensor {
+        let [out, input] = *self.weights.shape() else {
+            unreachable!("dense weights are 2-D")
+        };
+        assert_eq!(x.len(), input, "dense input size");
+        let mut y = Tensor::zeros(&[out]);
+        for o in 0..out {
+            let mut acc = self.bias.data()[o];
+            let row = &self.weights.data()[o * input..(o + 1) * input];
+            for (wv, xv) in row.iter().zip(x.data()) {
+                acc += wv * xv;
+            }
+            y.data_mut()[o] = acc;
+        }
+        y
+    }
+
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
+        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+        let [out, input] = *self.weights.shape() else {
+            unreachable!()
+        };
+        let mut grad_x = Tensor::zeros(&[input]);
+        for o in 0..out {
+            let g = grad_y.data()[o];
+            self.grad_b.data_mut()[o] += g;
+            for i in 0..input {
+                self.grad_w.data_mut()[o * input + i] += g * x.data()[i];
+                grad_x.data_mut()[i] += g * self.weights.data()[o * input + i];
+            }
+        }
+        grad_x
+    }
+}
+
+/// Residual block: `y = main(x) + shortcut(x)` (identity shortcut when
+/// empty) — the ResNet20 building block.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// The main path.
+    pub main: Vec<Layer>,
+    /// The shortcut path (empty = identity).
+    pub shortcut: Vec<Layer>,
+}
+
+/// One network layer.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Depthwise 2-D convolution (one kernel per channel).
+    DwConv2d(DwConv2d),
+    /// Fully connected.
+    Dense(Dense),
+    /// Rectified linear unit (elementwise max(0, x)).
+    Relu {
+        /// Forward-pass mask cache.
+        mask: Option<Vec<bool>>,
+    },
+    /// 2×2 max pooling (stride 2).
+    MaxPool2 {
+        /// Argmax cache for backward.
+        cache: Option<(Vec<usize>, Vec<usize>)>,
+    },
+    /// Global average pooling over H×W.
+    GlobalAvgPool {
+        /// Input spatial size cache.
+        cache: Option<(usize, usize)>,
+    },
+    /// Flatten to a vector.
+    Flatten {
+        /// Input shape cache.
+        cache: Option<Vec<usize>>,
+    },
+    /// Residual block.
+    Residual(Residual),
+}
+
+impl Layer {
+    /// Convenience: a fresh ReLU.
+    #[must_use]
+    pub fn relu() -> Self {
+        Layer::Relu { mask: None }
+    }
+
+    /// Convenience: a fresh 2×2 max pool.
+    #[must_use]
+    pub fn max_pool2() -> Self {
+        Layer::MaxPool2 { cache: None }
+    }
+
+    /// Convenience: a fresh global average pool.
+    #[must_use]
+    pub fn global_avg_pool() -> Self {
+        Layer::GlobalAvgPool { cache: None }
+    }
+
+    /// Convenience: a fresh flatten.
+    #[must_use]
+    pub fn flatten() -> Self {
+        Layer::Flatten { cache: None }
+    }
+
+    /// Inference forward pass (no caches touched).
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(c) => c.forward_impl(x),
+            Layer::DwConv2d(c) => c.forward_impl(x),
+            Layer::Dense(d) => d.forward_impl(x),
+            Layer::Relu { .. } => {
+                let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+                Tensor::from_vec(x.shape(), data)
+            }
+            Layer::MaxPool2 { .. } => max_pool2_forward(x).0,
+            Layer::GlobalAvgPool { .. } => global_avg_forward(x),
+            Layer::Flatten { .. } => {
+                let mut y = x.clone();
+                y.reshape(&[x.len()]);
+                y
+            }
+            Layer::Residual(r) => {
+                let mut main = x.clone();
+                for l in &r.main {
+                    main = l.forward(&main);
+                }
+                let mut short = x.clone();
+                for l in &r.shortcut {
+                    short = l.forward(&short);
+                }
+                main.add(&short)
+            }
+        }
+    }
+
+    /// Training forward pass (fills caches for [`Self::backward`]).
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(c) => {
+                c.cache_in = Some(x.clone());
+                c.forward_impl(x)
+            }
+            Layer::DwConv2d(c) => {
+                c.cache_in = Some(x.clone());
+                c.forward_impl(x)
+            }
+            Layer::Dense(d) => {
+                d.cache_in = Some(x.clone());
+                d.forward_impl(x)
+            }
+            Layer::Relu { mask } => {
+                *mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+                let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+                Tensor::from_vec(x.shape(), data)
+            }
+            Layer::MaxPool2 { cache } => {
+                let (y, arg, in_shape) = max_pool2_forward(x);
+                *cache = Some((arg, in_shape));
+                y
+            }
+            Layer::GlobalAvgPool { cache } => {
+                *cache = Some((x.shape()[1], x.shape()[2]));
+                global_avg_forward(x)
+            }
+            Layer::Flatten { cache } => {
+                *cache = Some(x.shape().to_vec());
+                let mut y = x.clone();
+                y.reshape(&[x.len()]);
+                y
+            }
+            Layer::Residual(r) => {
+                let mut main = x.clone();
+                for l in &mut r.main {
+                    main = l.forward_train(&main);
+                }
+                let mut short = x.clone();
+                for l in &mut r.shortcut {
+                    short = l.forward_train(&short);
+                }
+                main.add(&short)
+            }
+        }
+    }
+
+    /// Backward pass: consumes the gradient w.r.t. the output, returns the
+    /// gradient w.r.t. the input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::forward_train`] has not been called.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(c) => c.backward_impl(grad),
+            Layer::DwConv2d(c) => c.backward_impl(grad),
+            Layer::Dense(d) => d.backward_impl(grad),
+            Layer::Relu { mask } => {
+                let mask = mask.as_ref().expect("forward_train first");
+                let data = grad
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| if m { g } else { 0.0 })
+                    .collect();
+                Tensor::from_vec(grad.shape(), data)
+            }
+            Layer::MaxPool2 { cache } => {
+                let (arg, in_shape) = cache.as_ref().expect("forward_train first");
+                let mut gx = Tensor::zeros(&[in_shape[0], in_shape[1], in_shape[2]]);
+                for (i, &src) in arg.iter().enumerate() {
+                    gx.data_mut()[src] += grad.data()[i];
+                }
+                gx
+            }
+            Layer::GlobalAvgPool { cache } => {
+                let (h, w) = cache.expect("forward_train first");
+                let ch = grad.len();
+                let mut gx = Tensor::zeros(&[ch, h, w]);
+                let scale = 1.0 / (h * w) as f32;
+                for c in 0..ch {
+                    let g = grad.data()[c] * scale;
+                    for y in 0..h {
+                        for x in 0..w {
+                            *gx.at3_mut(c, y, x) = g;
+                        }
+                    }
+                }
+                gx
+            }
+            Layer::Flatten { cache } => {
+                let shape = cache.clone().expect("forward_train first");
+                let mut g = grad.clone();
+                g.reshape(&shape);
+                g
+            }
+            Layer::Residual(r) => {
+                let mut g_main = grad.clone();
+                for l in r.main.iter_mut().rev() {
+                    g_main = l.backward(&g_main);
+                }
+                let mut g_short = grad.clone();
+                for l in r.shortcut.iter_mut().rev() {
+                    g_short = l.backward(&g_short);
+                }
+                g_main.add(&g_short)
+            }
+        }
+    }
+
+    /// SGD-with-momentum update; zeroes accumulated gradients.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        match self {
+            Layer::Conv2d(c) => {
+                sgd(&mut c.weights, &mut c.grad_w, &mut c.vel_w, lr, momentum);
+                sgd(&mut c.bias, &mut c.grad_b, &mut c.vel_b, lr, momentum);
+            }
+            Layer::DwConv2d(c) => {
+                sgd(&mut c.weights, &mut c.grad_w, &mut c.vel_w, lr, momentum);
+                sgd(&mut c.bias, &mut c.grad_b, &mut c.vel_b, lr, momentum);
+            }
+            Layer::Dense(d) => {
+                sgd(&mut d.weights, &mut d.grad_w, &mut d.vel_w, lr, momentum);
+                sgd(&mut d.bias, &mut d.grad_b, &mut d.vel_b, lr, momentum);
+            }
+            Layer::Residual(r) => {
+                for l in r.main.iter_mut().chain(r.shortcut.iter_mut()) {
+                    l.step(lr, momentum);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        match self {
+            Layer::Conv2d(c) => (c.weights.len() + c.bias.len()) as u64,
+            Layer::DwConv2d(c) => (c.weights.len() + c.bias.len()) as u64,
+            Layer::Dense(d) => (d.weights.len() + d.bias.len()) as u64,
+            Layer::Residual(r) => r
+                .main
+                .iter()
+                .chain(&r.shortcut)
+                .map(Layer::param_count)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate count for one forward pass on `in_shape`,
+    /// returning `(macs, out_shape)`.
+    #[must_use]
+    pub fn macs(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        match self {
+            Layer::Conv2d(c) => {
+                let os = c.out_shape(in_shape);
+                let [_, in_ch, k, _] = *c.weights.shape() else {
+                    unreachable!()
+                };
+                let per_out = (in_ch * k * k) as u64;
+                let outs = (os[0] * os[1] * os[2]) as u64;
+                (outs * per_out, os)
+            }
+            Layer::DwConv2d(c) => {
+                let os = c.out_shape(in_shape);
+                let k = c.weights.shape()[1] as u64;
+                let outs = (os[0] * os[1] * os[2]) as u64;
+                (outs * k * k, os)
+            }
+            Layer::Dense(d) => {
+                let [out, input] = *d.weights.shape() else {
+                    unreachable!()
+                };
+                ((out * input) as u64, vec![out])
+            }
+            Layer::MaxPool2 { .. } => {
+                let os = vec![in_shape[0], in_shape[1] / 2, in_shape[2] / 2];
+                (0, os)
+            }
+            Layer::GlobalAvgPool { .. } => (0, vec![in_shape[0]]),
+            Layer::Flatten { .. } => (0, vec![in_shape.iter().product()]),
+            Layer::Relu { .. } => (0, in_shape.to_vec()),
+            Layer::Residual(r) => {
+                let mut macs = 0;
+                let mut shape = in_shape.to_vec();
+                for l in &r.main {
+                    let (m, s) = l.macs(&shape);
+                    macs += m;
+                    shape = s;
+                }
+                let mut sshape = in_shape.to_vec();
+                for l in &r.shortcut {
+                    let (m, s) = l.macs(&sshape);
+                    macs += m;
+                    sshape = s;
+                }
+                assert_eq!(shape, sshape, "residual paths must agree");
+                (macs, shape)
+            }
+        }
+    }
+}
+
+/// A plain feed-forward network (sequence of layers).
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    /// The layers, applied in order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inference forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut t = x.clone();
+        for l in &self.layers {
+            t = l.forward(&t);
+        }
+        t
+    }
+
+    /// Training forward pass (caches filled).
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let mut t = x.clone();
+        for l in &mut self.layers {
+            t = l.forward_train(&t);
+        }
+        t
+    }
+
+    /// Backward pass from the loss gradient at the output.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut g = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// SGD step over all layers.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        for l in &mut self.layers {
+            l.step(lr, momentum);
+        }
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Total MACs for one forward pass.
+    #[must_use]
+    pub fn mac_count(&self, in_shape: &[usize]) -> u64 {
+        let mut macs = 0;
+        let mut shape = in_shape.to_vec();
+        for l in &self.layers {
+            let (m, s) = l.macs(&shape);
+            macs += m;
+            shape = s;
+        }
+        macs
+    }
+}
+
+fn sgd(w: &mut Tensor, g: &mut Tensor, v: &mut Tensor, lr: f32, momentum: f32) {
+    for i in 0..w.len() {
+        let vel = momentum * v.data()[i] - lr * g.data()[i];
+        v.data_mut()[i] = vel;
+        w.data_mut()[i] += vel;
+        g.data_mut()[i] = 0.0;
+    }
+}
+
+fn max_pool2_forward(x: &Tensor) -> (Tensor, Vec<usize>, Vec<usize>) {
+    let (ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (oh, ow) = (h / 2, w / 2);
+    let mut y = Tensor::zeros(&[ch, oh, ow]);
+    let mut arg = vec![0usize; ch * oh * ow];
+    for c in 0..ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let (iy, ix) = (2 * oy + dy, 2 * ox + dx);
+                        let v = x.at3(c, iy, ix);
+                        if v > best {
+                            best = v;
+                            best_idx = (c * h + iy) * w + ix;
+                        }
+                    }
+                }
+                *y.at3_mut(c, oy, ox) = best;
+                arg[(c * oh + oy) * ow + ox] = best_idx;
+            }
+        }
+    }
+    (y, arg, vec![ch, h, w])
+}
+
+fn global_avg_forward(x: &Tensor) -> Tensor {
+    let (ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut y = Tensor::zeros(&[ch]);
+    for c in 0..ch {
+        let mut sum = 0.0;
+        for yy in 0..h {
+            for xx in 0..w {
+                sum += x.at3(c, yy, xx);
+            }
+        }
+        y.data_mut()[c] = sum / (h * w) as f32;
+    }
+    y
+}
+
+/// Standard normal sample via Box–Muller.
+fn sample_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut c = Conv2d::new(&mut rng(), 1, 1, 3, 1, 1);
+        c.weights.data_mut().fill(0.0);
+        c.weights.data_mut()[4] = 1.0; // centre tap
+        let x = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = Layer::Conv2d(c).forward(&x);
+        assert_eq!(y.data(), x.data(), "identity kernel passes through");
+    }
+
+    #[test]
+    fn conv_shapes_with_stride_and_pad() {
+        let c = Conv2d::new(&mut rng(), 8, 3, 3, 2, 1);
+        assert_eq!(c.out_shape(&[3, 32, 32]), vec![8, 16, 16]);
+        let c2 = Conv2d::new(&mut rng(), 4, 3, 3, 1, 0);
+        assert_eq!(c2.out_shape(&[3, 32, 32]), vec![4, 30, 30]);
+    }
+
+    #[test]
+    fn dense_matches_hand_computation() {
+        let mut d = Dense::new(&mut rng(), 2, 3);
+        d.weights = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        d.bias = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[3], vec![1.0, 1.0, 2.0]);
+        let y = Layer::Dense(d).forward(&x);
+        assert_eq!(y.data(), &[1.0 + 2.0 + 6.0 + 0.5, -1.0 + 2.0 - 0.5]);
+    }
+
+    #[test]
+    fn relu_and_pool() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![-1.0, 2.0, 3.0, -4.0]);
+        let y = Layer::relu().forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 3.0, 0.0]);
+        let p = Layer::max_pool2().forward(&x);
+        assert_eq!(p.data(), &[3.0]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let mut layer = Layer::Conv2d(Conv2d::new(&mut rng, 2, 1, 3, 1, 1));
+        let x = Tensor::from_vec(&[1, 4, 4], (0..16).map(|v| v as f32 * 0.1).collect());
+        // Loss = sum of outputs; grad_out = ones.
+        let y = layer.forward_train(&x);
+        let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let gx = layer.backward(&ones);
+        // Finite difference on one input element.
+        let eps = 1e-3;
+        for idx in [0usize, 5, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = layer.forward(&xp).data().iter().sum();
+            let fm: f32 = layer.forward(&xm).data().iter().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 1e-2,
+                "input grad at {idx}: {} vs {}",
+                gx.data()[idx],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn dense_weight_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let mut layer = Layer::Dense(Dense::new(&mut rng, 3, 4));
+        let x = Tensor::from_vec(&[4], vec![0.5, -1.0, 2.0, 0.1]);
+        let y = layer.forward_train(&x);
+        let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let _ = layer.backward(&ones);
+        let Layer::Dense(d) = &layer else {
+            unreachable!()
+        };
+        // grad_w[o][i] should equal x[i] for a sum loss.
+        for o in 0..3 {
+            for i in 0..4 {
+                assert!((d.grad_w.data()[o * 4 + i] - x.data()[i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_identity_doubles_input() {
+        let r = Layer::Residual(Residual {
+            main: vec![],
+            shortcut: vec![],
+        });
+        let x = Tensor::from_vec(&[2], vec![1.0, -2.0]);
+        // empty main == identity, so y = x + x.
+        assert_eq!(r.forward(&x).data(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn param_and_mac_counting() {
+        let mut rng = rng();
+        let net = Network {
+            layers: vec![
+                Layer::Conv2d(Conv2d::new(&mut rng, 16, 3, 3, 1, 1)),
+                Layer::relu(),
+                Layer::global_avg_pool(),
+                Layer::Dense(Dense::new(&mut rng, 10, 16)),
+            ],
+        };
+        // conv: 16*3*3*3 + 16 = 448; dense: 10*16 + 10 = 170.
+        assert_eq!(net.param_count(), 448 + 170);
+        // conv MACs on 3x32x32: 16*32*32*27; dense: 160.
+        assert_eq!(net.mac_count(&[3, 32, 32]), 16 * 32 * 32 * 27 + 160);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_toy_problem() {
+        // Learn y = relu(Wx) mapping two clusters apart.
+        let mut rng = rng();
+        let mut net = Network {
+            layers: vec![
+                Layer::Dense(Dense::new(&mut rng, 8, 2)),
+                Layer::relu(),
+                Layer::Dense(Dense::new(&mut rng, 2, 8)),
+            ],
+        };
+        let data = [
+            (Tensor::from_vec(&[2], vec![1.0, 0.0]), 0usize),
+            (Tensor::from_vec(&[2], vec![0.0, 1.0]), 1usize),
+        ];
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..200 {
+            let mut loss = 0.0;
+            for (x, label) in &data {
+                let logits = net.forward_train(x);
+                let (l, grad) = crate::train::softmax_xent(&logits, *label);
+                loss += l;
+                net.backward(&grad);
+                net.step(0.1, 0.9);
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.05, "converged, loss {last_loss}");
+        assert_eq!(net.forward(&data[0].0).argmax(), 0);
+        assert_eq!(net.forward(&data[1].0).argmax(), 1);
+    }
+}

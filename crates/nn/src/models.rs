@@ -1,0 +1,315 @@
+//! The paper's model zoo (Table I): ResNet20 for CIFAR-style image
+//! classification and two keyword-spotting CNNs for Speech-Commands-style
+//! data — at full scale for exact parameter/MAC accounting, plus
+//! width-reduced trainable variants for the retraining study (DESIGN.md
+//! §3.3).
+//!
+//! Architectural notes: batch normalization is omitted (at inference it
+//! folds into the preceding convolution, and the §IV study quantizes the
+//! folded weights anyway), so parameter counts differ from the paper's by
+//! the BN-parameter margin; EXPERIMENTS.md records both.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layers::{Conv2d, Dense, DwConv2d, Layer, Network, Residual};
+
+/// A basic ResNet block: two 3×3 convolutions with a skip connection;
+/// the first convolution optionally downsamples (stride 2) with a 1×1
+/// projection shortcut.
+fn basic_block(rng: &mut StdRng, in_ch: usize, out_ch: usize, stride: usize) -> Layer {
+    let main = vec![
+        Layer::Conv2d(Conv2d::new(rng, out_ch, in_ch, 3, stride, 1)),
+        Layer::relu(),
+        Layer::Conv2d(Conv2d::new(rng, out_ch, out_ch, 3, 1, 1)),
+    ];
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        vec![Layer::Conv2d(Conv2d::new(rng, out_ch, in_ch, 1, stride, 0))]
+    } else {
+        vec![]
+    };
+    Layer::Residual(Residual { main, shortcut })
+}
+
+/// ResNet for CIFAR-style `[3, 32, 32]` inputs with `n` blocks per stage
+/// and a base width — `resnet(3, 16)` is the paper's ResNet20
+/// (3 stages × 3 blocks × 2 convs + stem + classifier = 20 weight layers).
+#[must_use]
+pub fn resnet(blocks_per_stage: usize, width: usize, classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = vec![
+        Layer::Conv2d(Conv2d::new(&mut rng, width, 3, 3, 1, 1)),
+        Layer::relu(),
+    ];
+    let widths = [width, 2 * width, 4 * width];
+    let mut in_ch = width;
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..blocks_per_stage {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            layers.push(basic_block(&mut rng, in_ch, w, stride));
+            layers.push(Layer::relu());
+            in_ch = w;
+        }
+    }
+    layers.push(Layer::global_avg_pool());
+    layers.push(Layer::Dense(Dense::new(&mut rng, classes, in_ch)));
+    Network { layers }
+}
+
+/// The paper's ResNet20 at full scale (Table I row 1).
+#[must_use]
+pub fn resnet20(classes: usize, seed: u64) -> Network {
+    resnet(3, 16, classes, seed)
+}
+
+/// A trainable mini-ResNet for `[3, size, size]` inputs: one block per
+/// stage at reduced width — same topology class, laptop-scale cost.
+#[must_use]
+pub fn resnet_mini(width: usize, classes: usize, seed: u64) -> Network {
+    resnet(1, width, classes, seed)
+}
+
+/// KWS-CNN1 (Table I row 2): a compact two-conv keyword-spotting CNN for
+/// `[1, 49, 10]` MFCC maps, in the style of the Hello-Edge "CNN" models.
+#[must_use]
+pub fn kws_cnn1(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network {
+        layers: vec![
+            // Time×frequency convolution over the MFCC map.
+            Layer::Conv2d(Conv2d::new(&mut rng, 28, 1, 3, 1, 1)),
+            Layer::relu(),
+            Layer::max_pool2(), // 49x10 -> 24x5
+            Layer::Conv2d(Conv2d::new(&mut rng, 40, 28, 3, 1, 1)),
+            Layer::relu(),
+            Layer::max_pool2(), // 24x5 -> 12x2
+            Layer::flatten(),
+            Layer::Dense(Dense::new(&mut rng, 64, 40 * 12 * 2)),
+            Layer::relu(),
+            Layer::Dense(Dense::new(&mut rng, classes, 64)),
+        ],
+    }
+}
+
+/// KWS-CNN2 (Table I row 3): the larger keyword-spotting CNN.
+#[must_use]
+pub fn kws_cnn2(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network {
+        layers: vec![
+            Layer::Conv2d(Conv2d::new(&mut rng, 64, 1, 3, 1, 1)),
+            Layer::relu(),
+            Layer::max_pool2(), // 49x10 -> 24x5
+            Layer::Conv2d(Conv2d::new(&mut rng, 48, 64, 3, 1, 1)),
+            Layer::relu(),
+            Layer::max_pool2(), // 24x5 -> 12x2
+            Layer::flatten(),
+            Layer::Dense(Dense::new(&mut rng, 128, 48 * 12 * 2)),
+            Layer::relu(),
+            Layer::Dense(Dense::new(&mut rng, classes, 128)),
+        ],
+    }
+}
+
+/// DS-CNN: the depthwise-separable keyword-spotting CNN of the Hello-Edge
+/// family — a stem convolution followed by depthwise+pointwise pairs.
+/// These models dominate the accuracy-per-MAC Pareto front on
+/// microcontrollers, which is why the §IV energy story matters for them.
+#[must_use]
+pub fn ds_cnn(classes: usize, width: usize, blocks: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = vec![
+        Layer::Conv2d(Conv2d::new(&mut rng, width, 1, 3, 1, 1)),
+        Layer::relu(),
+    ];
+    for _ in 0..blocks {
+        layers.push(Layer::DwConv2d(DwConv2d::new(&mut rng, width, 3, 1, 1)));
+        layers.push(Layer::relu());
+        layers.push(Layer::Conv2d(Conv2d::new(&mut rng, width, width, 1, 1, 0)));
+        layers.push(Layer::relu());
+    }
+    layers.push(Layer::global_avg_pool());
+    layers.push(Layer::Dense(Dense::new(&mut rng, classes, width)));
+    Network { layers }
+}
+
+/// A trainable mini keyword-spotting CNN for `[1, frames, coeffs]` inputs.
+#[must_use]
+pub fn kws_mini(frames: usize, coeffs: usize, classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (fh, fw) = (frames / 2, coeffs / 2);
+    Network {
+        layers: vec![
+            Layer::Conv2d(Conv2d::new(&mut rng, 8, 1, 3, 1, 1)),
+            Layer::relu(),
+            Layer::max_pool2(),
+            Layer::flatten(),
+            Layer::Dense(Dense::new(&mut rng, classes, 8 * fh * fw)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet20_has_20_weight_layers() {
+        let net = resnet20(10, 1);
+        fn count(layers: &[Layer]) -> usize {
+            layers
+                .iter()
+                .map(|l| match l {
+                    Layer::Conv2d(_) | Layer::Dense(_) => 1,
+                    Layer::Residual(r) => count(&r.main) + count(&r.shortcut),
+                    _ => 0,
+                })
+                .sum()
+        }
+        // Stem + 9 blocks × 2 convs + 2 projection shortcuts + classifier.
+        assert_eq!(count(&net.layers), 1 + 18 + 2 + 1);
+    }
+
+    #[test]
+    fn resnet20_scale_matches_table1_magnitudes() {
+        // Table I: ResNet20 has 274,442 params and 40.8M MACs. Without
+        // batch-norm parameters ours lands within a few percent.
+        let net = resnet20(10, 1);
+        let params = net.param_count();
+        assert!(
+            (250_000..300_000).contains(&params),
+            "ResNet20 params {params}"
+        );
+        let macs = net.mac_count(&[3, 32, 32]);
+        assert!(
+            (38_000_000..44_000_000).contains(&macs),
+            "ResNet20 MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn kws_models_match_table1_magnitudes() {
+        // Table I: KWS-CNN1 69,982 params / 2.5M MACs; KWS-CNN2 179,404 /
+        // 8.6M.
+        let c1 = kws_cnn1(12, 1);
+        let p1 = c1.param_count();
+        let m1 = c1.mac_count(&[1, 49, 10]);
+        assert!((55_000..85_000).contains(&p1), "CNN1 params {p1}");
+        assert!((1_200_000..3_200_000).contains(&m1), "CNN1 MACs {m1}");
+        let c2 = kws_cnn2(12, 1);
+        let p2 = c2.param_count();
+        let m2 = c2.mac_count(&[1, 49, 10]);
+        assert!((140_000..220_000).contains(&p2), "CNN2 params {p2}");
+        assert!((3_000_000..11_000_000).contains(&m2), "CNN2 MACs {m2}");
+    }
+
+    #[test]
+    fn ds_cnn_is_mac_efficient() {
+        // Depthwise separable blocks need far fewer MACs than standard
+        // convolutions at the same width.
+        let ds = ds_cnn(10, 32, 2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dense_equiv = Network {
+            layers: vec![
+                Layer::Conv2d(Conv2d::new(&mut rng, 32, 1, 3, 1, 1)),
+                Layer::relu(),
+                Layer::Conv2d(Conv2d::new(&mut rng, 32, 32, 3, 1, 1)),
+                Layer::relu(),
+                Layer::Conv2d(Conv2d::new(&mut rng, 32, 32, 3, 1, 1)),
+                Layer::relu(),
+                Layer::global_avg_pool(),
+                Layer::Dense(Dense::new(&mut rng, 10, 32)),
+            ],
+        };
+        let shape = [1usize, 49, 10];
+        let ds_macs = ds.mac_count(&shape);
+        let full_macs = dense_equiv.mac_count(&shape);
+        assert!(
+            ds_macs * 3 < full_macs,
+            "DS-CNN {ds_macs} vs standard {full_macs}"
+        );
+        // Same output arity.
+        assert_eq!(
+            ds.forward(&crate::tensor::Tensor::zeros(&shape)).shape(),
+            &[10]
+        );
+    }
+
+    #[test]
+    fn dwconv_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut layer = Layer::DwConv2d(DwConv2d::new(&mut rng, 2, 3, 1, 1));
+        let x = crate::tensor::Tensor::from_vec(
+            &[2, 4, 4],
+            (0..32).map(|v| v as f32 * 0.07 - 1.0).collect(),
+        );
+        let y = layer.forward_train(&x);
+        let ones = crate::tensor::Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let gx = layer.backward(&ones);
+        let eps = 1e-3;
+        for idx in [0usize, 9, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = layer.forward(&xp).data().iter().sum();
+            let fm: f32 = layer.forward(&xm).data().iter().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 1e-2,
+                "grad at {idx}: {} vs {}",
+                gx.data()[idx],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn ds_cnn_trains_and_quantizes() {
+        use crate::data::Dataset;
+        use crate::quant::QuantizedNetwork;
+        use crate::train::{accuracy, train_float, TrainConfig};
+        use nga_approx::ApproxMultiplier;
+        let data = Dataset::synth_speech(4, 10, 16, 8, 31);
+        let mut net = ds_cnn(4, 8, 1, 2);
+        let cfg = TrainConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            epochs: 12,
+            seed: 3,
+        };
+        train_float(&mut net, &data, &cfg);
+        let acc = accuracy(&net, &data);
+        assert!(acc > 80.0, "DS-CNN learns: {acc}");
+        // Quantized path handles the depthwise layer: logits must track
+        // the float network closely (argmax can flip on near-ties, so the
+        // numeric comparison is the correctness check). Calibrate on the
+        // full set so no activation is clipped.
+        let calib: Vec<_> = (0..data.len()).map(|i| data.sample(i).0).collect();
+        let q = QuantizedNetwork::from_float(&net, &calib);
+        for i in 0..data.len() {
+            let (x, _) = data.sample(i);
+            let fy = net.forward(&x);
+            let qy = q.forward(&x, ApproxMultiplier::Exact);
+            let (lo, hi) = fy.min_max();
+            let span = (hi - lo).max(1.0);
+            for (a, b) in fy.data().iter().zip(qy.data()) {
+                assert!(
+                    (a - b).abs() < 0.3 * span,
+                    "sample {i}: float {a} vs quant {b} (span {span})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let net = resnet_mini(4, 10, 2);
+        let x = crate::tensor::Tensor::zeros(&[3, 16, 16]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[10]);
+        let k = kws_mini(16, 8, 5, 3);
+        let y = k.forward(&crate::tensor::Tensor::zeros(&[1, 16, 8]));
+        assert_eq!(y.shape(), &[5]);
+    }
+}

@@ -1,0 +1,186 @@
+use std::fmt;
+
+/// A dense CHW tensor of `f32` values.
+///
+/// Shapes are `[channels, height, width]` for feature maps and
+/// `[out, in, kh, kw]` for convolution weights; a flat `[n]` shape covers
+/// vectors. Nothing here is clever — the point of this substrate is to be
+/// obviously correct so the arithmetic studies above it are trustworthy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes in place (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        assert_eq!(shape.iter().product::<usize>(), self.data.len());
+        self.shape = shape.to_vec();
+    }
+
+    /// CHW indexing for 3-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the index is out of range.
+    #[must_use]
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        let (ch, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        debug_assert!(c < ch && y < h && x < w);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Mutable CHW access for 3-D tensors.
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        let (h, w) = (self.shape[1], self.shape[2]);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Index of the maximum element (argmax), ties to the first.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Elementwise sum with another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.shape, rhs.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Minimum and maximum element (0.0 for empty tensors).
+    #[must_use]
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if self.data.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        *t.at3_mut(1, 2, 3) = 5.0;
+        assert_eq!(t.at3(1, 2, 3), 5.0);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn argmax_and_minmax() {
+        let t = Tensor::from_vec(&[4], vec![1.0, -3.0, 7.0, 2.0]);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.min_max(), (-3.0, 7.0));
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_rejected() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+}

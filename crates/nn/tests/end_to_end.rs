@@ -1,0 +1,98 @@
+//! End-to-end §IV pipeline test: float training, 8-bit quantization,
+//! approximate-multiplier degradation, and retraining recovery — the
+//! Fig. 5 experiment in miniature.
+
+use nga_approx::ApproxMultiplier;
+use nga_nn::data::{Augmentation, Dataset};
+use nga_nn::models::kws_mini;
+use nga_nn::train::{accuracy, accuracy_approx, retrain_approx, train_float, TrainConfig};
+
+fn trained_setup() -> (nga_nn::layers::Network, Dataset) {
+    let data = Dataset::synth_speech(4, 15, 16, 8, 11);
+    let mut net = kws_mini(16, 8, 4, 5);
+    let cfg = TrainConfig {
+        lr: 0.02,
+        momentum: 0.9,
+        epochs: 20,
+        seed: 3,
+    };
+    let losses = train_float(&mut net, &data, &cfg);
+    assert!(
+        losses.last() < losses.first(),
+        "training reduces loss: {losses:?}"
+    );
+    (net, data)
+}
+
+#[test]
+fn float_and_quantized_accuracy_are_high_and_close() {
+    let (net, data) = trained_setup();
+    let float_acc = accuracy(&net, &data);
+    assert!(float_acc >= 90.0, "float accuracy {float_acc}");
+    // Table I's "8-bit" column: quantization costs little.
+    let q_acc = accuracy_approx(&net, &data, ApproxMultiplier::Exact);
+    assert!(
+        float_acc - q_acc <= 10.0,
+        "8-bit close to float: {float_acc} vs {q_acc}"
+    );
+}
+
+#[test]
+fn deep_approximation_degrades_then_retraining_recovers() {
+    let (mut net, data) = trained_setup();
+    let q_acc = accuracy_approx(&net, &data, ApproxMultiplier::Exact);
+    let rough = ApproxMultiplier::Drum3;
+    let approx_acc = accuracy_approx(&net, &data, rough);
+    // Retrain with the approximate forward in the loop (5 epochs, like the
+    // paper).
+    let cfg = TrainConfig {
+        lr: 0.01,
+        momentum: 0.9,
+        epochs: 5,
+        seed: 13,
+    };
+    let _losses = retrain_approx(&mut net, &data, rough, &cfg);
+    let recovered = accuracy_approx(&net, &data, rough);
+    assert!(
+        recovered >= approx_acc - 5.0,
+        "retraining must not hurt: {approx_acc} -> {recovered}"
+    );
+    assert!(
+        recovered >= q_acc - 15.0,
+        "retraining recovers toward the quantized baseline: exact {q_acc}, \
+         before {approx_acc}, after {recovered}"
+    );
+}
+
+#[test]
+fn mild_approximation_is_nearly_free() {
+    let (net, data) = trained_setup();
+    let exact = accuracy_approx(&net, &data, ApproxMultiplier::Exact);
+    let mild = accuracy_approx(&net, &data, ApproxMultiplier::DropLsb);
+    assert!(
+        (exact - mild).abs() <= 5.0,
+        "drop-lsb is indistinguishable: {exact} vs {mild}"
+    );
+}
+
+#[test]
+fn augmentation_changes_training_but_keeps_labels() {
+    let data = Dataset::synth_speech(3, 10, 16, 8, 21)
+        .with_augmentation(Augmentation::BackgroundNoise { volume: 0.1 });
+    for i in 0..data.len() {
+        let (_, l1) = data.sample(i);
+        let (_, l2) = data.sample(i);
+        assert_eq!(l1, l2, "augmentation never changes labels");
+    }
+    let mut net = kws_mini(16, 8, 3, 5);
+    let cfg = TrainConfig {
+        lr: 0.02,
+        momentum: 0.9,
+        epochs: 15,
+        seed: 3,
+    };
+    let losses = train_float(&mut net, &data, &cfg);
+    assert!(losses.last() < losses.first());
+    let eval = data.without_augmentation();
+    assert!(accuracy(&net, &eval) > 60.0);
+}

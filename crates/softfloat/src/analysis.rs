@@ -1,0 +1,201 @@
+//! Encoding-space analysis backing the paper's Fig. 6 (the float "ring
+//! plot") and the dynamic-range comparisons of §V.
+//!
+//! The ring plot draws every bit string of a 16-bit format on a circle in
+//! two's-complement integer order and shades which encodings a hardware
+//! float unit actually handles natively ("normal") versus the bands that
+//! "trap to software" (subnormals, NaNs) — about 6 % of encodings for
+//! binary16 — plus the arc where textbook rounding-error theorems hold.
+
+use crate::format::FloatFormat;
+use crate::value::{FloatClass, SoftFloat};
+
+/// Region of the encoding ring a bit pattern falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingRegion {
+    /// ±0 (exact, handled natively).
+    Zero,
+    /// Normal encoding handled by fast hardware.
+    Normal,
+    /// Subnormal band — "trap to software" on most commodity hardware.
+    SubnormalTrap,
+    /// NaN band — "trap to software".
+    NanTrap,
+    /// ±infinity.
+    Infinity,
+}
+
+/// Classifies one encoding for the ring plot.
+#[must_use]
+pub fn classify_region(x: SoftFloat) -> RingRegion {
+    match x.class() {
+        FloatClass::Zero => RingRegion::Zero,
+        FloatClass::Normal => RingRegion::Normal,
+        FloatClass::Subnormal => RingRegion::SubnormalTrap,
+        FloatClass::Nan => RingRegion::NanTrap,
+        FloatClass::Infinite => RingRegion::Infinity,
+    }
+}
+
+/// Census of an entire encoding space, as drawn in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingCensus {
+    /// Encodings of ±0.
+    pub zeros: u64,
+    /// Normal encodings (fast path).
+    pub normals: u64,
+    /// Subnormal encodings (software trap band).
+    pub subnormals: u64,
+    /// NaN encodings (software trap band).
+    pub nans: u64,
+    /// ±infinity encodings.
+    pub infinities: u64,
+    /// Encodings in the "theorems are valid" arc: finite nonzero values
+    /// whose squares neither overflow nor underflow, i.e. `|x|` in
+    /// `[2^(emin/2), 2^(emax/2)]` — the region where the product
+    /// relative-error theorem of §V is guaranteed.
+    pub theorem_valid: u64,
+}
+
+impl RingCensus {
+    /// Walks every encoding of `fmt` (up to 2^26) and tallies the regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is wider than 26 bits (the census is meant for
+    /// the paper's 16–19-bit edge formats).
+    #[must_use]
+    pub fn enumerate(fmt: FloatFormat) -> Self {
+        assert!(fmt.total_bits() <= 26, "census is for narrow edge formats");
+        let mut census = Self::default();
+        let lo = (fmt.emin() as f64 / 2.0).exp2();
+        let hi = (fmt.emax() as f64 / 2.0).exp2();
+        for bits in 0..=fmt.bits_mask() {
+            let x = SoftFloat::from_bits(bits, fmt);
+            match classify_region(x) {
+                RingRegion::Zero => census.zeros += 1,
+                RingRegion::Normal => census.normals += 1,
+                RingRegion::SubnormalTrap => census.subnormals += 1,
+                RingRegion::NanTrap => census.nans += 1,
+                RingRegion::Infinity => census.infinities += 1,
+            }
+            if x.is_finite() && !x.is_zero() {
+                let v = x.to_f64().abs();
+                if v >= lo && v <= hi {
+                    census.theorem_valid += 1;
+                }
+            }
+        }
+        census
+    }
+
+    /// Total number of encodings.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.zeros + self.normals + self.subnormals + self.nans + self.infinities
+    }
+
+    /// Fraction of encodings in the software-trap bands (subnormals + NaNs)
+    /// — "about 6 percent of the possible values" for binary16 (§V).
+    #[must_use]
+    pub fn trap_fraction(&self) -> f64 {
+        (self.subnormals + self.nans) as f64 / self.total() as f64
+    }
+
+    /// Fraction of encodings in the theorem-valid arc — "*less than half*
+    /// the range of possible inputs" (§V).
+    #[must_use]
+    pub fn theorem_valid_fraction(&self) -> f64 {
+        self.theorem_valid as f64 / self.total() as f64
+    }
+}
+
+/// Dynamic range of a float format in decimal orders of magnitude,
+/// optionally counting the subnormal range.
+///
+/// §V quotes ≈9 orders for binary16 normals and ≈76 for bfloat16.
+///
+/// ```
+/// use nga_softfloat::{dynamic_range_decades, FloatFormat};
+/// let f16 = dynamic_range_decades(FloatFormat::BINARY16, false);
+/// assert!(f16 > 8.9 && f16 < 9.6, "binary16 ~ 9 decades, got {f16}");
+/// let bf = dynamic_range_decades(FloatFormat::BFLOAT16, false);
+/// assert!(bf > 75.0 && bf < 78.0, "bfloat16 ~ 76 decades, got {bf}");
+/// ```
+#[must_use]
+pub fn dynamic_range_decades(fmt: FloatFormat, include_subnormals: bool) -> f64 {
+    let lo = if include_subnormals {
+        fmt.min_subnormal()
+    } else {
+        fmt.min_normal()
+    };
+    (fmt.max_finite() / lo).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary16_census_counts() {
+        let c = RingCensus::enumerate(FloatFormat::BINARY16);
+        assert_eq!(c.total(), 65536);
+        assert_eq!(c.zeros, 2);
+        assert_eq!(c.infinities, 2);
+        // Subnormals: 2 * (2^10 - 1); NaNs: 2 * (2^10 - 1).
+        assert_eq!(c.subnormals, 2046);
+        assert_eq!(c.nans, 2046);
+        assert_eq!(c.normals, 65536 - 2 - 2 - 2046 - 2046);
+    }
+
+    #[test]
+    fn binary16_trap_fraction_is_about_six_percent() {
+        let c = RingCensus::enumerate(FloatFormat::BINARY16);
+        let f = c.trap_fraction();
+        assert!((0.05..0.07).contains(&f), "paper says ~6 %, got {f}");
+    }
+
+    #[test]
+    fn theorem_arc_is_less_than_half_the_ring() {
+        let c = RingCensus::enumerate(FloatFormat::BINARY16);
+        let f = c.theorem_valid_fraction();
+        assert!(f < 0.5, "theorems valid on less than half the ring: {f}");
+        assert!(f > 0.2, "but still a substantial arc: {f}");
+    }
+
+    #[test]
+    fn effective_mul_range_of_binary16() {
+        // §V: "the effective dynamic range is much smaller if we expect to
+        // do any multiplies, from 1/256 to a little less than 256".
+        let fmt = FloatFormat::BINARY16;
+        let lo = (fmt.emin() as f64 / 2.0).exp2();
+        let hi = (fmt.emax() as f64 / 2.0).exp2();
+        assert_eq!(lo, 1.0 / 128.0); // 2^-7
+        assert!((181.0..182.0).contains(&hi)); // 2^7.5
+                                               // The paper's 1/256..256 quote brackets this arc.
+        assert!(lo >= 1.0 / 256.0 && hi < 256.0);
+    }
+
+    #[test]
+    fn dynamic_ranges_match_paper_quotes() {
+        let f16 = dynamic_range_decades(FloatFormat::BINARY16, false);
+        assert!((8.9..9.6).contains(&f16));
+        let bf = dynamic_range_decades(FloatFormat::BFLOAT16, false);
+        assert!((75.0..78.0).contains(&bf));
+        // With subnormals binary16 stretches to ~12 decades.
+        let f16s = dynamic_range_decades(FloatFormat::BINARY16, true);
+        assert!(f16s > f16 + 2.0);
+    }
+
+    #[test]
+    fn ftz_format_census_is_identical() {
+        // FTZ changes arithmetic, not the encoding space itself.
+        use crate::format::SubnormalMode;
+        let a = RingCensus::enumerate(FloatFormat::BINARY16);
+        let b = RingCensus::enumerate(
+            FloatFormat::BINARY16.with_subnormal_mode(SubnormalMode::FlushToZero),
+        );
+        assert_eq!(a.normals, b.normals);
+        assert_eq!(a.subnormals, b.subnormals);
+    }
+}

@@ -1,0 +1,329 @@
+use std::fmt;
+
+/// How a format treats subnormal (denormal) encodings.
+///
+/// The paper's Fig. 6 shades the subnormal and NaN bands of the 16-bit float
+/// ring as "trap to software": commodity hardware implements only the normal
+/// range and microcode/software handles the rest, which is why SIMD code
+/// sets flush-to-zero flags. Modelling both modes lets the hardware-cost
+/// comparison in `nga-hwmodel` distinguish "full IEEE 754" from the cheaper
+/// "normals-only" float unit the paper says posits should be compared
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SubnormalMode {
+    /// Gradual underflow per IEEE 754 (subnormals fully supported).
+    #[default]
+    Gradual,
+    /// Flush-to-zero / denormals-are-zero: subnormal inputs and outputs are
+    /// replaced by (signed) zero, as in GPU/DSP "fast" modes.
+    FlushToZero,
+}
+
+/// An IEEE 754 rounding-direction attribute (§4.3 of the standard).
+///
+/// Full IEEE 754 hardware must implement all of these — one of the §V
+/// cost items separating "full IEEE" from "normals-only" units. The
+/// attribute travels with the [`FloatFormat`] (like a control register);
+/// posits, by contrast, define exactly one rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// roundTiesToEven (the default).
+    #[default]
+    NearestEven,
+    /// roundTiesToAway.
+    NearestAway,
+    /// roundTowardZero (truncation).
+    TowardZero,
+    /// roundTowardPositive (ceiling).
+    TowardPositive,
+    /// roundTowardNegative (floor).
+    TowardNegative,
+}
+
+/// An IEEE 754-style binary interchange format: 1 sign bit, `exp_bits`
+/// exponent bits, `frac_bits` fraction bits.
+///
+/// ```
+/// use nga_softfloat::FloatFormat;
+/// let f16 = FloatFormat::BINARY16;
+/// assert_eq!(f16.total_bits(), 16);
+/// assert_eq!(f16.bias(), 15);
+/// assert_eq!(f16.max_finite(), 65504.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    exp_bits: u32,
+    frac_bits: u32,
+    subnormals: SubnormalMode,
+    rounding: Rounding,
+}
+
+impl FloatFormat {
+    /// IEEE 754 binary16 (half precision): `{1, 5, 10}`.
+    pub const BINARY16: Self = Self {
+        exp_bits: 5,
+        frac_bits: 10,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+    /// IEEE 754 binary32 (single precision): `{1, 8, 23}`.
+    pub const BINARY32: Self = Self {
+        exp_bits: 8,
+        frac_bits: 23,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+    /// Google bfloat16: binary32 with the low 16 fraction bits dropped,
+    /// `{1, 8, 7}` (§V: "a 32-bit float with the 16 least-significant
+    /// fraction bits rounded off").
+    pub const BFLOAT16: Self = Self {
+        exp_bits: 8,
+        frac_bits: 7,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+    /// Intel Agilex DSP-block FP19 format `{1, 8, 10}` (§III), usable for
+    /// both training and inference.
+    pub const FP19: Self = Self {
+        exp_bits: 8,
+        frac_bits: 10,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+    /// An 8-bit inference minifloat `{1, 4, 3}` (IEEE-style semantics with
+    /// infinities and NaN — the OCP E4M3 variant differs in its special
+    /// values, but the precision/range shape is this one).
+    pub const FP8_E4M3: Self = Self {
+        exp_bits: 4,
+        frac_bits: 3,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+    /// An 8-bit training minifloat `{1, 5, 2}` (IEEE-style E5M2 — this one
+    /// is bit-compatible with a truncated binary16).
+    pub const FP8_E5M2: Self = Self {
+        exp_bits: 5,
+        frac_bits: 2,
+        subnormals: SubnormalMode::Gradual,
+        rounding: Rounding::NearestEven,
+    };
+
+    /// Maximum supported exponent width (keeps every value exactly
+    /// representable in `f64`'s exponent range for conversion oracles).
+    pub const MAX_EXP_BITS: u32 = 10;
+    /// Maximum supported fraction width.
+    pub const MAX_FRAC_BITS: u32 = 52;
+
+    /// Creates a custom format with gradual underflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits` is not in `2..=MAX_EXP_BITS` or `frac_bits` is
+    /// not in `1..=MAX_FRAC_BITS`. Formats are almost always compile-time
+    /// choices, so a panic (rather than a `Result`) mirrors array-index
+    /// ergonomics; use the constants for standard formats.
+    #[must_use]
+    pub fn new(exp_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            (2..=Self::MAX_EXP_BITS).contains(&exp_bits),
+            "exp_bits {exp_bits} out of range 2..={}",
+            Self::MAX_EXP_BITS
+        );
+        assert!(
+            (1..=Self::MAX_FRAC_BITS).contains(&frac_bits),
+            "frac_bits {frac_bits} out of range 1..={}",
+            Self::MAX_FRAC_BITS
+        );
+        Self {
+            exp_bits,
+            frac_bits,
+            subnormals: SubnormalMode::Gradual,
+            rounding: Rounding::NearestEven,
+        }
+    }
+
+    /// Returns this format with the given subnormal handling.
+    #[must_use]
+    pub fn with_subnormal_mode(mut self, mode: SubnormalMode) -> Self {
+        self.subnormals = mode;
+        self
+    }
+
+    /// The subnormal handling mode.
+    #[must_use]
+    pub fn subnormal_mode(&self) -> SubnormalMode {
+        self.subnormals
+    }
+
+    /// Returns this format with the given rounding-direction attribute.
+    ///
+    /// ```
+    /// use nga_softfloat::{FloatFormat, Rounding, SoftFloat};
+    /// let rz = FloatFormat::BINARY16.with_rounding(Rounding::TowardZero);
+    /// let x = SoftFloat::from_f64(1.0 + 0.9 * FloatFormat::BINARY16.epsilon(), rz);
+    /// assert_eq!(x.to_f64(), 1.0, "truncated toward zero");
+    /// ```
+    #[must_use]
+    pub fn with_rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// The rounding-direction attribute.
+    #[must_use]
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// Number of exponent bits.
+    #[must_use]
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of fraction (explicit significand) bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage width: `1 + exp_bits + frac_bits`.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// Exponent bias, `2^(exp_bits-1) - 1`.
+    #[must_use]
+    pub fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Smallest unbiased exponent of a normal value (`emin = 1 - bias`).
+    #[must_use]
+    pub fn emin(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Largest unbiased exponent of a finite value (`emax = bias`).
+    #[must_use]
+    pub fn emax(&self) -> i32 {
+        self.bias()
+    }
+
+    /// All-ones exponent field value (infinities and NaNs).
+    #[must_use]
+    pub fn exp_field_max(&self) -> u64 {
+        (1u64 << self.exp_bits) - 1
+    }
+
+    /// Mask of the fraction field.
+    #[must_use]
+    pub fn frac_mask(&self) -> u64 {
+        (1u64 << self.frac_bits) - 1
+    }
+
+    /// Mask of all `total_bits` storage bits.
+    #[must_use]
+    pub fn bits_mask(&self) -> u64 {
+        if self.total_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Position of the sign bit.
+    #[must_use]
+    pub fn sign_shift(&self) -> u32 {
+        self.exp_bits + self.frac_bits
+    }
+
+    /// Largest finite value, `(2 - 2^-frac_bits) * 2^emax`.
+    #[must_use]
+    pub fn max_finite(&self) -> f64 {
+        let sig = 2.0 - (-(self.frac_bits as f64)).exp2();
+        sig * (self.emax() as f64).exp2()
+    }
+
+    /// Smallest positive normal value, `2^emin`.
+    #[must_use]
+    pub fn min_normal(&self) -> f64 {
+        (self.emin() as f64).exp2()
+    }
+
+    /// Smallest positive subnormal value, `2^(emin - frac_bits)`.
+    #[must_use]
+    pub fn min_subnormal(&self) -> f64 {
+        ((self.emin() - self.frac_bits as i32) as f64).exp2()
+    }
+
+    /// Machine epsilon, the gap from 1.0 to the next value: `2^-frac_bits`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        (-(self.frac_bits as f64)).exp2()
+    }
+}
+
+impl fmt::Display for FloatFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{1,{},{}}}", self.exp_bits, self.frac_bits)?;
+        if self.subnormals == SubnormalMode::FlushToZero {
+            write!(f, " FTZ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary16_constants() {
+        let f = FloatFormat::BINARY16;
+        assert_eq!(f.bias(), 15);
+        assert_eq!(f.emin(), -14);
+        assert_eq!(f.emax(), 15);
+        assert_eq!(f.max_finite(), 65504.0);
+        assert_eq!(f.min_normal(), 6.103515625e-5);
+        assert_eq!(f.min_subnormal(), 5.960464477539063e-8);
+    }
+
+    #[test]
+    fn binary32_matches_host_f32() {
+        let f = FloatFormat::BINARY32;
+        assert_eq!(f.max_finite(), f32::MAX as f64);
+        assert_eq!(f.min_normal(), f32::MIN_POSITIVE as f64);
+        assert_eq!(f.epsilon(), f32::EPSILON as f64);
+    }
+
+    #[test]
+    fn bfloat16_has_binary32_range() {
+        let bf = FloatFormat::BFLOAT16;
+        assert_eq!(bf.emax(), FloatFormat::BINARY32.emax());
+        assert_eq!(bf.emin(), FloatFormat::BINARY32.emin());
+        assert_eq!(bf.total_bits(), 16);
+    }
+
+    #[test]
+    fn fp19_shape() {
+        let f = FloatFormat::FP19;
+        assert_eq!(f.total_bits(), 19);
+        assert_eq!(f.exp_bits(), 8);
+        assert_eq!(f.frac_bits(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exp_bits")]
+    fn rejects_tiny_exponent() {
+        let _ = FloatFormat::new(1, 10);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FloatFormat::BINARY16.to_string(), "{1,5,10}");
+        let ftz = FloatFormat::BINARY16.with_subnormal_mode(SubnormalMode::FlushToZero);
+        assert_eq!(ftz.to_string(), "{1,5,10} FTZ");
+    }
+}

@@ -1,0 +1,196 @@
+//! Interval arithmetic on top of the directed rounding attributes — the
+//! §II-C error-analysis toolbox in executable form: every operation
+//! returns an enclosure `[lo, hi]` guaranteed to contain the exact result,
+//! computed by running the same bit-exact datapath once under
+//! round-toward-negative and once under round-toward-positive.
+
+use crate::format::{FloatFormat, Rounding};
+use crate::value::SoftFloat;
+
+/// A closed interval of floating-point values, guaranteed to enclose the
+/// exact real result of the computation that produced it.
+///
+/// ```
+/// use nga_softfloat::{FloatFormat, Interval};
+/// let fmt = FloatFormat::BINARY16;
+/// let x = Interval::from_f64(0.1, fmt); // 0.1 is not representable
+/// assert!(x.lo().to_f64() < 0.1 && 0.1 < x.hi().to_f64());
+/// let y = x.mul(&x);
+/// assert!(y.contains(0.01));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: SoftFloat,
+    hi: SoftFloat,
+}
+
+impl Interval {
+    /// The degenerate interval `[x, x]` from an exactly representable
+    /// value.
+    #[must_use]
+    pub fn exact(x: SoftFloat) -> Self {
+        let down = x.format().with_rounding(Rounding::TowardNegative);
+        let up = x.format().with_rounding(Rounding::TowardPositive);
+        Self {
+            lo: SoftFloat::from_bits(x.bits(), down),
+            hi: SoftFloat::from_bits(x.bits(), up),
+        }
+    }
+
+    /// The tightest enclosure of a real value in the given format.
+    #[must_use]
+    pub fn from_f64(x: f64, fmt: FloatFormat) -> Self {
+        let down = fmt.with_rounding(Rounding::TowardNegative);
+        let up = fmt.with_rounding(Rounding::TowardPositive);
+        Self {
+            lo: SoftFloat::from_f64(x, down),
+            hi: SoftFloat::from_f64(x, up),
+        }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> SoftFloat {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> SoftFloat {
+        self.hi
+    }
+
+    /// Whether the interval contains the real value `x`.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo.to_f64() <= x && x <= self.hi.to_f64()
+    }
+
+    /// Interval width as `f64` (infinite if a bound overflowed).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi.to_f64() - self.lo.to_f64()
+    }
+
+    /// Enclosure of the sum.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self {
+            lo: self.lo.add(rhs.lo),
+            hi: self.hi.add(rhs.hi),
+        }
+    }
+
+    /// Enclosure of the difference.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Self {
+            lo: self.lo.sub(rhs.hi.convert(self.lo.format())),
+            hi: self.hi.sub(rhs.lo.convert(self.hi.format())),
+        }
+    }
+
+    /// Enclosure of the product (full case analysis over sign
+    /// combinations: the min/max over the four corner products, each
+    /// computed with outward rounding).
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let dfmt = self.lo.format();
+        let ufmt = self.hi.format();
+        // Corner products under both roundings.
+        let corners_lo = [
+            self.lo.mul(rhs.lo.convert(dfmt)),
+            self.lo.mul(rhs.hi.convert(dfmt)),
+            self.hi.convert(dfmt).mul(rhs.lo.convert(dfmt)),
+            self.hi.convert(dfmt).mul(rhs.hi.convert(dfmt)),
+        ];
+        let corners_hi = [
+            self.lo.convert(ufmt).mul(rhs.lo.convert(ufmt)),
+            self.lo.convert(ufmt).mul(rhs.hi.convert(ufmt)),
+            self.hi.mul(rhs.lo.convert(ufmt)),
+            self.hi.mul(rhs.hi.convert(ufmt)),
+        ];
+        let lo = corners_lo
+            .into_iter()
+            .min_by(|a, b| a.to_f64().total_cmp(&b.to_f64()))
+            .expect("four corners");
+        let hi = corners_hi
+            .into_iter()
+            .max_by(|a, b| a.to_f64().total_cmp(&b.to_f64()))
+            .expect("four corners");
+        Self { lo, hi }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo.to_f64(), self.hi.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F16: FloatFormat = FloatFormat::BINARY16;
+
+    #[test]
+    fn enclosure_of_unrepresentable_constants() {
+        for x in [0.1f64, std::f64::consts::PI, 1.0 / 3.0, -0.7] {
+            let i = Interval::from_f64(x, F16);
+            assert!(i.contains(x), "{x}: {i}");
+            assert!(i.width() <= 2.0 * (2.0f64).powi(-10) * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn exact_values_have_zero_width() {
+        let one = SoftFloat::one(F16);
+        let i = Interval::exact(one);
+        assert_eq!(i.width(), 0.0);
+        assert!(i.contains(1.0));
+    }
+
+    #[test]
+    fn sums_and_products_enclose_the_reals() {
+        let mut s = 0x77u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 4000) as f64 - 2000.0) / 100.0
+        };
+        for _ in 0..500 {
+            let (x, y) = (next(), next());
+            let ix = Interval::from_f64(x, F16);
+            let iy = Interval::from_f64(y, F16);
+            assert!(ix.add(&iy).contains(x + y), "{x} + {y}");
+            assert!(ix.sub(&iy).contains(x - y), "{x} - {y}");
+            assert!(ix.mul(&iy).contains(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn accumulated_enclosure_stays_valid_and_tight() {
+        // Sum 100 copies of 0.01: exact 1.0 must stay enclosed, with width
+        // growing only linearly in the ulp.
+        let term = Interval::from_f64(0.01, F16);
+        let mut acc = Interval::from_f64(0.0, F16);
+        for _ in 0..100 {
+            acc = acc.add(&term);
+        }
+        assert!(acc.contains(1.0), "{acc}");
+        assert!(acc.width() < 0.05, "width {}", acc.width()); // ~1 ulp per add
+    }
+
+    #[test]
+    fn mixed_sign_products() {
+        let a = Interval::from_f64(-1.5, F16);
+        let b = Interval::from_f64(2.5, F16);
+        let p = a.mul(&b);
+        assert!(p.contains(-3.75));
+        let n = a.mul(&a);
+        assert!(n.contains(2.25));
+        assert!(n.lo().to_f64() > 0.0, "square of a negative is positive");
+    }
+}

@@ -1,0 +1,570 @@
+use std::fmt;
+
+use crate::format::{FloatFormat, SubnormalMode};
+use crate::round::round_pack;
+
+/// IEEE 754 value classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatClass {
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal (denormal) value — the left "trap to software" band of the
+    /// paper's Fig. 6.
+    Subnormal,
+    /// Ordinary normal value.
+    Normal,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Not-a-number (quiet or signaling).
+    Nan,
+}
+
+/// A floating-point value: raw encoding bits paired with a [`FloatFormat`].
+///
+/// The bit layout is the IEEE interchange layout, stored right-aligned in a
+/// `u64`. All arithmetic (in [`arith`](crate::SoftFloat::add)) is pure
+/// integer manipulation.
+///
+/// ```
+/// use nga_softfloat::{FloatFormat, SoftFloat};
+/// let x = SoftFloat::from_bits(0x3C00, FloatFormat::BINARY16);
+/// assert_eq!(x.to_f64(), 1.0);
+/// assert_eq!(SoftFloat::from_f64(1.0, FloatFormat::BINARY16), x);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SoftFloat {
+    bits: u64,
+    format: FloatFormat,
+}
+
+/// Decoded finite value: `(-1)^sign * sig * 2^exp` with the hidden bit
+/// folded into `sig`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Unpacked {
+    pub sign: bool,
+    pub sig: u64,
+    pub exp: i32,
+}
+
+impl SoftFloat {
+    /// Reinterprets raw encoding bits in the given format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has bits set above the format's width.
+    #[must_use]
+    pub fn from_bits(bits: u64, format: FloatFormat) -> Self {
+        assert!(
+            bits & !format.bits_mask() == 0,
+            "bits 0x{bits:x} exceed format width {}",
+            format.total_bits()
+        );
+        Self { bits, format }
+    }
+
+    /// Positive zero.
+    #[must_use]
+    pub fn zero(format: FloatFormat) -> Self {
+        Self { bits: 0, format }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one(format: FloatFormat) -> Self {
+        let e_field = format.bias() as u64;
+        Self {
+            bits: e_field << format.frac_bits(),
+            format,
+        }
+    }
+
+    /// Infinity with the given sign.
+    #[must_use]
+    pub fn infinity(negative: bool, format: FloatFormat) -> Self {
+        let bits = (u64::from(negative) << format.sign_shift())
+            | (format.exp_field_max() << format.frac_bits());
+        Self { bits, format }
+    }
+
+    /// The canonical quiet NaN (positive sign, MSB of fraction set).
+    #[must_use]
+    pub fn quiet_nan(format: FloatFormat) -> Self {
+        let bits =
+            (format.exp_field_max() << format.frac_bits()) | (1u64 << (format.frac_bits() - 1));
+        Self { bits, format }
+    }
+
+    /// A signaling NaN (quiet bit clear, lowest fraction bit set).
+    #[must_use]
+    pub fn signaling_nan(format: FloatFormat) -> Self {
+        let bits = (format.exp_field_max() << format.frac_bits()) | 1;
+        Self { bits, format }
+    }
+
+    /// Converts an `f64` into this format with round-to-nearest-even.
+    ///
+    /// The conversion is correctly rounded: the `f64` is decomposed exactly
+    /// into `sig * 2^exp` by bit manipulation and re-rounded once. NaN maps
+    /// to the canonical quiet NaN; infinities and signed zeros are
+    /// preserved. Under [`SubnormalMode::FlushToZero`] a subnormal result is
+    /// flushed to (signed) zero.
+    #[must_use]
+    pub fn from_f64(x: f64, format: FloatFormat) -> Self {
+        let host = x.to_bits();
+        let sign = host >> 63 == 1;
+        let e_field = ((host >> 52) & 0x7FF) as i32;
+        let frac = host & ((1u64 << 52) - 1);
+        if e_field == 0x7FF {
+            return if frac == 0 {
+                Self::infinity(sign, format)
+            } else {
+                Self::quiet_nan(format)
+            };
+        }
+        let (sig, exp) = if e_field == 0 {
+            (frac, 1 - 1023 - 52)
+        } else {
+            (frac | (1u64 << 52), e_field - 1023 - 52)
+        };
+        let out = round_pack(sign, sig as u128, exp, format);
+        Self {
+            bits: out.bits,
+            format,
+        }
+        .apply_ftz()
+    }
+
+    /// The raw encoding bits.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The format of this value.
+    #[must_use]
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// The sign bit (true = negative).
+    #[must_use]
+    pub fn sign(&self) -> bool {
+        self.bits >> self.format.sign_shift() == 1
+    }
+
+    /// The raw biased exponent field.
+    #[must_use]
+    pub fn exp_field(&self) -> u64 {
+        (self.bits >> self.format.frac_bits()) & self.format.exp_field_max()
+    }
+
+    /// The raw fraction field.
+    #[must_use]
+    pub fn frac_field(&self) -> u64 {
+        self.bits & self.format.frac_mask()
+    }
+
+    /// Classifies the value.
+    #[must_use]
+    pub fn class(&self) -> FloatClass {
+        let e = self.exp_field();
+        let f = self.frac_field();
+        if e == self.format.exp_field_max() {
+            if f == 0 {
+                FloatClass::Infinite
+            } else {
+                FloatClass::Nan
+            }
+        } else if e == 0 {
+            if f == 0 {
+                FloatClass::Zero
+            } else {
+                FloatClass::Subnormal
+            }
+        } else {
+            FloatClass::Normal
+        }
+    }
+
+    /// Whether the value is NaN.
+    #[must_use]
+    pub fn is_nan(&self) -> bool {
+        self.class() == FloatClass::Nan
+    }
+
+    /// Whether the value is a signaling NaN (NaN with the quiet bit clear).
+    #[must_use]
+    pub fn is_signaling_nan(&self) -> bool {
+        self.is_nan() && (self.frac_field() >> (self.format.frac_bits() - 1)) & 1 == 0
+    }
+
+    /// Whether the value is ±infinity.
+    #[must_use]
+    pub fn is_infinite(&self) -> bool {
+        self.class() == FloatClass::Infinite
+    }
+
+    /// Whether the value is finite (zero, subnormal, or normal).
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        matches!(
+            self.class(),
+            FloatClass::Zero | FloatClass::Subnormal | FloatClass::Normal
+        )
+    }
+
+    /// Whether the value is ±0.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.class() == FloatClass::Zero
+    }
+
+    /// Whether the value is subnormal.
+    #[must_use]
+    pub fn is_subnormal(&self) -> bool {
+        self.class() == FloatClass::Subnormal
+    }
+
+    /// Negates (flips the sign bit — exact, even for NaN).
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self {
+            bits: self.bits ^ (1 << self.format.sign_shift()),
+            format: self.format,
+        }
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[must_use]
+    pub fn abs(&self) -> Self {
+        Self {
+            bits: self.bits & !(1 << self.format.sign_shift()),
+            format: self.format,
+        }
+    }
+
+    /// The exact value as `f64` (exact for every supported format since
+    /// `f64` has more range and precision than any format this crate
+    /// allows).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let sign = if self.sign() { -1.0 } else { 1.0 };
+        match self.class() {
+            FloatClass::Zero => sign * 0.0,
+            FloatClass::Infinite => sign * f64::INFINITY,
+            FloatClass::Nan => f64::NAN,
+            FloatClass::Subnormal => {
+                let exp = self.format.emin() - self.format.frac_bits() as i32;
+                sign * self.frac_field() as f64 * (exp as f64).exp2()
+            }
+            FloatClass::Normal => {
+                let sig = self.frac_field() | (1u64 << self.format.frac_bits());
+                let exp =
+                    self.exp_field() as i32 - self.format.bias() - self.format.frac_bits() as i32;
+                sign * sig as f64 * (exp as f64).exp2()
+            }
+        }
+    }
+
+    /// Converts a signed integer with a single correct rounding (under the
+    /// format's rounding attribute).
+    ///
+    /// ```
+    /// use nga_softfloat::{FloatFormat, SoftFloat};
+    /// let x = SoftFloat::from_i64(2049, FloatFormat::BINARY16);
+    /// assert_eq!(x.to_f64(), 2048.0, "11-bit significand rounds 2049 down");
+    /// ```
+    #[must_use]
+    pub fn from_i64(v: i64, format: FloatFormat) -> Self {
+        if v == 0 {
+            return Self::zero(format);
+        }
+        let out = round_pack(v < 0, u128::from(v.unsigned_abs()), 0, format);
+        Self {
+            bits: out.bits,
+            format,
+        }
+        .apply_ftz()
+    }
+
+    /// Rounds to an integer using the format's rounding attribute.
+    /// Returns `None` for NaN; infinities and out-of-range values saturate
+    /// to `i64::MIN`/`i64::MAX` (the common hardware convention).
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        use crate::format::Rounding;
+        match self.class() {
+            FloatClass::Nan => None,
+            FloatClass::Zero => Some(0),
+            FloatClass::Infinite => Some(if self.sign() { i64::MIN } else { i64::MAX }),
+            _ => {
+                let u = self.unpack();
+                let mag: i64 = if u.exp >= 0 {
+                    let bits = 64 - u.sig.leading_zeros();
+                    if u.exp as u32 + bits > 63 {
+                        return Some(if u.sign { i64::MIN } else { i64::MAX });
+                    }
+                    (u.sig << u.exp) as i64
+                } else {
+                    let shift = (-u.exp) as u32;
+                    if shift >= 64 {
+                        // Entirely fractional: direction decides 0 or ±1.
+                        let away = match self.format.rounding() {
+                            Rounding::TowardPositive => !u.sign,
+                            Rounding::TowardNegative => u.sign,
+                            _ => false,
+                        };
+                        return Some(match (away, u.sign) {
+                            (true, false) => 1,
+                            (true, true) => -1,
+                            _ => 0,
+                        });
+                    }
+                    let q = u.sig >> shift;
+                    let rem = u.sig & ((1u64 << shift) - 1);
+                    let half = 1u64 << (shift - 1);
+                    let up = match self.format.rounding() {
+                        Rounding::NearestEven => rem > half || (rem == half && q & 1 == 1),
+                        Rounding::NearestAway => rem >= half,
+                        Rounding::TowardZero => false,
+                        Rounding::TowardPositive => rem != 0 && !u.sign,
+                        Rounding::TowardNegative => rem != 0 && u.sign,
+                    };
+                    (if up { q + 1 } else { q }) as i64
+                };
+                Some(if u.sign { -mag } else { mag })
+            }
+        }
+    }
+
+    /// Converts to another format with a single correct rounding.
+    #[must_use]
+    pub fn convert(&self, format: FloatFormat) -> Self {
+        match self.class() {
+            FloatClass::Nan => Self::quiet_nan(format),
+            FloatClass::Infinite => Self::infinity(self.sign(), format),
+            FloatClass::Zero => Self {
+                bits: u64::from(self.sign()) << format.sign_shift(),
+                format,
+            },
+            _ => {
+                let u = self.unpack();
+                let out = round_pack(u.sign, u.sig as u128, u.exp, format);
+                Self {
+                    bits: out.bits,
+                    format,
+                }
+                .apply_ftz()
+            }
+        }
+    }
+
+    /// A monotone integer key implementing the IEEE total order for
+    /// non-NaN values: compares like the values themselves, including
+    /// -0 < +0 ordering of the bit patterns.
+    ///
+    /// This is the sign-magnitude-to-two's-complement folding trick — and
+    /// exactly the transformation the paper's Fig. 6 ring plot shows floats
+    /// *not* having natively (unlike posits, which are already in this
+    /// order).
+    #[must_use]
+    pub fn total_order_key(&self) -> i64 {
+        let magnitude = (self.bits & (self.format.bits_mask() >> 1)) as i64;
+        if self.sign() {
+            // Negative: larger magnitude sorts lower; -0 sorts just below +0.
+            -1 - magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Unpacks a finite nonzero value into sign/significand/exponent with
+    /// the hidden bit folded in. Zero unpacks to `sig == 0`.
+    pub(crate) fn unpack(&self) -> Unpacked {
+        let m = self.format.frac_bits();
+        let e = self.exp_field();
+        let f = self.frac_field();
+        debug_assert!(e != self.format.exp_field_max(), "unpack of non-finite");
+        if e == 0 {
+            Unpacked {
+                sign: self.sign(),
+                sig: f,
+                exp: self.format.emin() - m as i32,
+            }
+        } else {
+            Unpacked {
+                sign: self.sign(),
+                sig: f | (1u64 << m),
+                exp: e as i32 - self.format.bias() - m as i32,
+            }
+        }
+    }
+
+    /// Applies flush-to-zero if the format requests it and the value is
+    /// subnormal.
+    pub(crate) fn apply_ftz(self) -> Self {
+        if self.format.subnormal_mode() == SubnormalMode::FlushToZero && self.is_subnormal() {
+            Self {
+                bits: u64::from(self.sign()) << self.format.sign_shift(),
+                format: self.format,
+            }
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl fmt::LowerHex for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F16: FloatFormat = FloatFormat::BINARY16;
+
+    #[test]
+    fn classification_of_known_bit_patterns() {
+        assert_eq!(SoftFloat::from_bits(0x0000, F16).class(), FloatClass::Zero);
+        assert_eq!(SoftFloat::from_bits(0x8000, F16).class(), FloatClass::Zero);
+        assert_eq!(
+            SoftFloat::from_bits(0x0001, F16).class(),
+            FloatClass::Subnormal
+        );
+        assert_eq!(
+            SoftFloat::from_bits(0x03FF, F16).class(),
+            FloatClass::Subnormal
+        );
+        assert_eq!(
+            SoftFloat::from_bits(0x0400, F16).class(),
+            FloatClass::Normal
+        );
+        assert_eq!(
+            SoftFloat::from_bits(0x7C00, F16).class(),
+            FloatClass::Infinite
+        );
+        assert_eq!(SoftFloat::from_bits(0x7C01, F16).class(), FloatClass::Nan);
+        assert_eq!(SoftFloat::from_bits(0xFE00, F16).class(), FloatClass::Nan);
+    }
+
+    #[test]
+    fn f16_round_trip_against_host_f32() {
+        // Every binary16 encoding converts exactly to f64 and back.
+        for bits in 0..=0xFFFFu64 {
+            let x = SoftFloat::from_bits(bits, F16);
+            if x.is_nan() {
+                continue;
+            }
+            let y = SoftFloat::from_f64(x.to_f64(), F16);
+            assert_eq!(x.bits(), y.bits(), "bits 0x{bits:04x}");
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_against_host() {
+        let f32fmt = FloatFormat::BINARY32;
+        for host in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::EPSILON,
+            1.0e-40, // subnormal
+            core::f32::consts::PI,
+        ] {
+            let x = SoftFloat::from_f64(host as f64, f32fmt);
+            assert_eq!(x.bits(), host.to_bits() as u64, "value {host}");
+            assert_eq!(x.to_f64(), host as f64);
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 in binary16: ties to even -> 1.0.
+        let x = SoftFloat::from_f64(1.0 + (2.0f64).powi(-11), F16);
+        assert_eq!(x.to_f64(), 1.0);
+        // 1 + 3*2^-11 is also a tie (1.5 ulp): ties to even -> 2 ulp.
+        let x = SoftFloat::from_f64(1.0 + 3.0 * (2.0f64).powi(-11), F16);
+        assert_eq!(x.to_f64(), 1.0 + (2.0f64).powi(-9));
+        // 1 + 5*2^-12 (1.25 ulp) rounds to the nearest: 1 ulp.
+        let x = SoftFloat::from_f64(1.0 + 5.0 * (2.0f64).powi(-12), F16);
+        assert_eq!(x.to_f64(), 1.0 + (2.0f64).powi(-10));
+    }
+
+    #[test]
+    fn ftz_flushes_subnormals() {
+        let ftz = F16.with_subnormal_mode(SubnormalMode::FlushToZero);
+        let x = SoftFloat::from_f64(1.0e-7, ftz); // subnormal in binary16
+        assert!(x.is_zero());
+        let y = SoftFloat::from_f64(-1.0e-7, ftz);
+        assert!(y.is_zero());
+        assert!(y.sign(), "flush preserves sign");
+    }
+
+    #[test]
+    fn nan_constructors() {
+        let q = SoftFloat::quiet_nan(F16);
+        assert!(q.is_nan());
+        assert!(!q.is_signaling_nan());
+        let s = SoftFloat::signaling_nan(F16);
+        assert!(s.is_nan());
+        assert!(s.is_signaling_nan());
+    }
+
+    #[test]
+    fn conversion_between_formats() {
+        let x = SoftFloat::from_f64(3.14159265, FloatFormat::BINARY32);
+        let y = x.convert(F16);
+        // Correct single rounding of the f32 value into f16.
+        let expect = SoftFloat::from_f64(x.to_f64(), F16);
+        assert_eq!(y.bits(), expect.bits());
+        // bfloat16 keeps the top 7 fraction bits of binary32 (RNE).
+        let bf = x.convert(FloatFormat::BFLOAT16);
+        assert!((bf.to_f64() - 3.14159265).abs() < 0.02);
+    }
+
+    #[test]
+    fn total_order_key_is_monotone_over_finite_f16() {
+        let mut last: Option<(i64, f64)> = None;
+        // Walk negative values down then positives up via value sort.
+        let mut values: Vec<SoftFloat> = (0..=0xFFFFu64)
+            .map(|b| SoftFloat::from_bits(b, F16))
+            .filter(|x| !x.is_nan())
+            .collect();
+        values.sort_by(|a, b| {
+            a.to_f64()
+                .partial_cmp(&b.to_f64())
+                .unwrap()
+                .then(a.total_order_key().cmp(&b.total_order_key()))
+        });
+        for v in values {
+            let k = v.total_order_key();
+            if let Some((pk, pv)) = last {
+                if pv < v.to_f64() {
+                    assert!(pk < k, "key order broken at {} -> {}", pv, v.to_f64());
+                } else {
+                    // equal values (-0 vs +0) may share or order keys; require non-decreasing
+                    assert!(pk <= k);
+                }
+            }
+            last = Some((k, v.to_f64()));
+        }
+    }
+}

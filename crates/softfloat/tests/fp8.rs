@@ -1,0 +1,110 @@
+//! Exhaustive verification of the 8-bit minifloat formats (the edge
+//! inference precisions of §III's "even lower precision" remark): every
+//! encoding round-trips and every arithmetic result matches the
+//! f64-compute-then-round oracle (double rounding is innocuous since
+//! 53 ≥ 2·4 + 2).
+
+use nga_softfloat::{FloatFormat, SoftFloat};
+
+fn check_format_exhaustively(fmt: FloatFormat) {
+    // Round trip of every encoding.
+    for bits in 0..=fmt.bits_mask() {
+        let x = SoftFloat::from_bits(bits, fmt);
+        if x.is_nan() {
+            continue;
+        }
+        let y = SoftFloat::from_f64(x.to_f64(), fmt);
+        assert_eq!(x.bits(), y.bits(), "{fmt} round trip 0x{bits:02x}");
+    }
+    // All 2^16 operand pairs for add/mul/div, plus sqrt of everything.
+    for a_bits in 0..=fmt.bits_mask() {
+        let a = SoftFloat::from_bits(a_bits, fmt);
+        if a.is_nan() {
+            continue;
+        }
+        let sq = a.sqrt();
+        let want_sq = SoftFloat::from_f64(a.to_f64().sqrt(), fmt);
+        if want_sq.is_nan() {
+            assert!(sq.is_nan());
+        } else {
+            assert_eq!(sq.bits(), want_sq.bits(), "{fmt} sqrt 0x{a_bits:02x}");
+        }
+        for b_bits in 0..=fmt.bits_mask() {
+            let b = SoftFloat::from_bits(b_bits, fmt);
+            if b.is_nan() {
+                continue;
+            }
+            let sum = a.add(b);
+            let want = SoftFloat::from_f64(a.to_f64() + b.to_f64(), fmt);
+            if want.is_nan() {
+                assert!(sum.is_nan());
+            } else {
+                assert_eq!(
+                    sum.bits(),
+                    want.bits(),
+                    "{fmt} 0x{a_bits:02x} + 0x{b_bits:02x}"
+                );
+            }
+            let prod = a.mul(b);
+            let want = SoftFloat::from_f64(a.to_f64() * b.to_f64(), fmt);
+            if want.is_nan() {
+                assert!(prod.is_nan());
+            } else {
+                assert_eq!(
+                    prod.bits(),
+                    want.bits(),
+                    "{fmt} 0x{a_bits:02x} * 0x{b_bits:02x}"
+                );
+            }
+            if !b.is_zero() {
+                let quot = a.div(b);
+                let want = SoftFloat::from_f64(a.to_f64() / b.to_f64(), fmt);
+                if want.is_nan() {
+                    assert!(quot.is_nan());
+                } else {
+                    assert_eq!(
+                        quot.bits(),
+                        want.bits(),
+                        "{fmt} 0x{a_bits:02x} / 0x{b_bits:02x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fp8_e4m3_is_exhaustively_correct() {
+    check_format_exhaustively(FloatFormat::FP8_E4M3);
+}
+
+#[test]
+fn fp8_e5m2_is_exhaustively_correct() {
+    check_format_exhaustively(FloatFormat::FP8_E5M2);
+}
+
+#[test]
+fn fp8_ranges() {
+    // E4M3 (IEEE-style): max finite (2 - 2^-3) * 2^7 = 240.
+    assert_eq!(FloatFormat::FP8_E4M3.max_finite(), 240.0);
+    // E5M2: max finite (2 - 2^-2) * 2^15 = 57344.
+    assert_eq!(FloatFormat::FP8_E5M2.max_finite(), 57344.0);
+    // E5M2 trades precision for binary16's range.
+    assert_eq!(FloatFormat::FP8_E5M2.emax(), FloatFormat::BINARY16.emax());
+}
+
+#[test]
+fn e5m2_is_a_truncated_binary16() {
+    // A binary16 whose low 8 fraction bits are zero is *exactly* the E5M2
+    // spelled by its top 8 bits (same sign/exponent fields, fraction
+    // truncated) — E5M2 is bit-compatible with truncated binary16.
+    for top in 0..=0xFFu64 {
+        let f16 = SoftFloat::from_bits(top << 8, FloatFormat::BINARY16);
+        let e5m2 = SoftFloat::from_bits(top, FloatFormat::FP8_E5M2);
+        if f16.is_nan() {
+            assert!(e5m2.is_nan(), "0x{top:02x}");
+        } else {
+            assert_eq!(e5m2.to_f64(), f16.to_f64(), "0x{top:02x}");
+        }
+    }
+}

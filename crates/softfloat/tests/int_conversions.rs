@@ -1,0 +1,79 @@
+//! Integer ↔ float conversions under every rounding attribute.
+
+use nga_softfloat::{FloatFormat, Rounding, SoftFloat};
+
+const F16: FloatFormat = FloatFormat::BINARY16;
+
+#[test]
+fn from_i64_matches_host_f32_semantics_on_binary32() {
+    let f32fmt = FloatFormat::BINARY32;
+    for v in [
+        0i64,
+        1,
+        -1,
+        255,
+        16_777_215,
+        16_777_217, // first integer not representable in f32
+        -16_777_219,
+        i64::from(i32::MAX),
+    ] {
+        let got = SoftFloat::from_i64(v, f32fmt);
+        let host = v as f32;
+        assert_eq!(got.bits(), u64::from(host.to_bits()), "{v}");
+    }
+}
+
+#[test]
+fn to_i64_round_trips_representable_integers() {
+    for v in -2048i64..=2048 {
+        let f = SoftFloat::from_i64(v, F16);
+        assert_eq!(f.to_i64(), Some(v), "{v}");
+    }
+}
+
+#[test]
+fn to_i64_rounds_halves_per_mode() {
+    let cases = [
+        (2.5f64, Rounding::NearestEven, 2i64),
+        (3.5, Rounding::NearestEven, 4),
+        (2.5, Rounding::NearestAway, 3),
+        (-2.5, Rounding::NearestAway, -3),
+        (2.5, Rounding::TowardZero, 2),
+        (-2.5, Rounding::TowardZero, -2),
+        (2.5, Rounding::TowardPositive, 3),
+        (-2.5, Rounding::TowardPositive, -2),
+        (2.5, Rounding::TowardNegative, 2),
+        (-2.5, Rounding::TowardNegative, -3),
+    ];
+    for (v, mode, want) in cases {
+        let f = SoftFloat::from_f64(v, F16.with_rounding(mode));
+        assert_eq!(f.to_i64(), Some(want), "{v} under {mode:?}");
+    }
+}
+
+#[test]
+fn to_i64_special_values() {
+    assert_eq!(SoftFloat::quiet_nan(F16).to_i64(), None);
+    assert_eq!(SoftFloat::infinity(false, F16).to_i64(), Some(i64::MAX));
+    assert_eq!(SoftFloat::infinity(true, F16).to_i64(), Some(i64::MIN));
+    let nz = SoftFloat::zero(F16).neg();
+    assert_eq!(nz.to_i64(), Some(0));
+}
+
+#[test]
+fn tiny_fractions_round_per_direction() {
+    let tiny = SoftFloat::from_f64(1e-6, F16.with_rounding(Rounding::TowardPositive));
+    assert_eq!(tiny.to_i64(), Some(1), "ceil of a subnormal-ish fraction");
+    let tiny = SoftFloat::from_f64(-1e-6, F16.with_rounding(Rounding::TowardNegative));
+    assert_eq!(tiny.to_i64(), Some(-1));
+    let tiny = SoftFloat::from_f64(1e-6, F16);
+    assert_eq!(tiny.to_i64(), Some(0), "nearest rounds to zero");
+}
+
+#[test]
+fn large_finite_values_saturate() {
+    // bfloat16 max finite ~3.4e38 >> i64::MAX.
+    let big = SoftFloat::from_f64(1e38, FloatFormat::BFLOAT16);
+    assert_eq!(big.to_i64(), Some(i64::MAX));
+    assert_eq!(big.neg().to_i64(), Some(i64::MIN));
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for `nga-softfloat`, cross-checked against the host
+//! FPU (which is itself IEEE 754) where formats coincide, and against
+//! algebraic invariants elsewhere.
+
+use nga_softfloat::{FloatFormat, Relation, SoftFloat, SubnormalMode};
+use proptest::prelude::*;
+
+fn arb_f16() -> impl Strategy<Value = SoftFloat> {
+    (0u64..=0xFFFF).prop_map(|b| SoftFloat::from_bits(b, FloatFormat::BINARY16))
+}
+
+fn arb_f32() -> impl Strategy<Value = SoftFloat> {
+    any::<u32>().prop_map(|b| SoftFloat::from_bits(b as u64, FloatFormat::BINARY32))
+}
+
+fn arb_bf16() -> impl Strategy<Value = SoftFloat> {
+    (0u64..=0xFFFF).prop_map(|b| SoftFloat::from_bits(b, FloatFormat::BFLOAT16))
+}
+
+proptest! {
+    #[test]
+    fn f32_add_matches_host(a in arb_f32(), b in arb_f32()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let host = f32::from_bits(a.bits() as u32) + f32::from_bits(b.bits() as u32);
+        let got = a.add(b);
+        if host.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.bits(), host.to_bits() as u64);
+        }
+    }
+
+    #[test]
+    fn f32_mul_matches_host(a in arb_f32(), b in arb_f32()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let host = f32::from_bits(a.bits() as u32) * f32::from_bits(b.bits() as u32);
+        let got = a.mul(b);
+        if host.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.bits(), host.to_bits() as u64);
+        }
+    }
+
+    #[test]
+    fn f32_div_matches_host(a in arb_f32(), b in arb_f32()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let host = f32::from_bits(a.bits() as u32) / f32::from_bits(b.bits() as u32);
+        let got = a.div(b);
+        if host.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.bits(), host.to_bits() as u64);
+        }
+    }
+
+    #[test]
+    fn f32_sqrt_matches_host(a in arb_f32()) {
+        prop_assume!(!a.is_nan());
+        let host = f32::from_bits(a.bits() as u32).sqrt();
+        let got = a.sqrt();
+        if host.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.bits(), host.to_bits() as u64);
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in arb_f16(), b in arb_f16()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        prop_assert_eq!(a.add(b).bits(), b.add(a).bits());
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_bf16(), b in arb_bf16()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        prop_assert_eq!(a.mul(b).bits(), b.mul(a).bits());
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(a in arb_f16(), b in arb_f16()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        prop_assert_eq!(a.sub(b).bits(), a.add(b.neg()).bits());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(a in arb_f16()) {
+        prop_assume!(a.is_finite());
+        let one = SoftFloat::one(FloatFormat::BINARY16);
+        prop_assert_eq!(a.mul(one).bits(), a.bits());
+    }
+
+    #[test]
+    fn add_zero_is_identity_for_nonzero(a in arb_f16()) {
+        prop_assume!(a.is_finite() && !a.is_zero());
+        let zero = SoftFloat::zero(FloatFormat::BINARY16);
+        prop_assert_eq!(a.add(zero).bits(), a.bits());
+    }
+
+    #[test]
+    fn rounding_is_monotone_from_f64(x in -1.0e5f64..1.0e5, y in -1.0e5f64..1.0e5) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let a = SoftFloat::from_f64(lo, FloatFormat::BINARY16);
+        let b = SoftFloat::from_f64(hi, FloatFormat::BINARY16);
+        prop_assert!(a.to_f64() <= b.to_f64());
+    }
+
+    #[test]
+    fn conversion_round_trip_widening(a in arb_f16()) {
+        prop_assume!(!a.is_nan());
+        // f16 -> f32 -> f16 is lossless.
+        let wide = a.convert(FloatFormat::BINARY32);
+        let back = wide.convert(FloatFormat::BINARY16);
+        prop_assert_eq!(back.bits(), a.bits());
+    }
+
+    #[test]
+    fn compare_agrees_with_f64(a in arb_f16(), b in arb_f16()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let (x, y) = (a.to_f64(), b.to_f64());
+        let expect = if x < y {
+            Relation::Less
+        } else if x > y {
+            Relation::Greater
+        } else {
+            Relation::Equal
+        };
+        prop_assert_eq!(a.compare(b), expect);
+    }
+
+    #[test]
+    fn ftz_mode_never_produces_subnormals(a in 0u64..=0xFFFF, b in 0u64..=0xFFFF) {
+        let fmt = FloatFormat::BINARY16.with_subnormal_mode(SubnormalMode::FlushToZero);
+        let x = SoftFloat::from_bits(a, fmt);
+        let y = SoftFloat::from_bits(b, fmt);
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        for r in [x.add(y), x.mul(y), x.sub(y)] {
+            prop_assert!(!r.is_subnormal(), "FTZ leaked a subnormal");
+        }
+    }
+
+    #[test]
+    fn fma_exactness_dominates_mul_add(a in arb_f16(), b in arb_f16(), c in arb_f16()) {
+        prop_assume!(a.is_finite() && b.is_finite() && c.is_finite());
+        // |fma(a,b,c) - exact| <= |mul+add - exact| in f64 terms.
+        let exact = a.to_f64() * b.to_f64() + c.to_f64();
+        prop_assume!(exact.is_finite());
+        let fused = a.fma(b, c).to_f64();
+        let split = a.mul(b).add(c).to_f64();
+        if fused.is_finite() && split.is_finite() {
+            prop_assert!((fused - exact).abs() <= (split - exact).abs() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Domain example: the §IV keyword-spotting pipeline end to end — train a
+//! small CNN on Speech-Commands-like data, quantize to 8 bits, sweep the
+//! approximate-multiplier ladder, and pick the most energy-efficient
+//! multiplier that stays within the paper's 5-point tolerance.
+//!
+//! ```sh
+//! cargo run --release --example approx_kws
+//! ```
+
+use nextgen_arith::approx::{table2, ApproxMultiplier};
+use nextgen_arith::nn::data::Dataset;
+use nextgen_arith::nn::models::kws_mini;
+use nextgen_arith::nn::train::{accuracy, accuracy_approx, train_float, TrainConfig};
+
+fn main() {
+    println!("training a keyword-spotting CNN on synthetic speech commands...");
+    let all = Dataset::synth_speech_noisy(10, 24, 24, 10, 0.6, 97);
+    let (train, test) = all.split_alternating();
+    let mut net = kws_mini(24, 10, 10, 3);
+    let cfg = TrainConfig {
+        lr: 0.01,
+        momentum: 0.9,
+        epochs: 30,
+        seed: 11,
+    };
+    train_float(&mut net, &train, &cfg);
+    let float_acc = accuracy(&net, &test);
+    let q8_acc = accuracy_approx(&net, &test, ApproxMultiplier::Exact);
+    println!("float accuracy {float_acc:.2} %, 8-bit accuracy {q8_acc:.2} %");
+
+    println!("\nsweeping the approximate multiplier ladder (tolerance: 5 points):");
+    let tolerance = 5.0;
+    let mut best: Option<(ApproxMultiplier, f64, f64)> = None;
+    for row in table2() {
+        let m = row.multiplier;
+        let acc = accuracy_approx(&net, &test, m);
+        let ok = acc >= q8_acc - tolerance;
+        println!(
+            "  {:<9} MRE {:>5.2} % | accuracy {:>6.2} % | energy saving {:>5.2} % | {}",
+            m.id(),
+            row.metrics.mre_percent,
+            acc,
+            row.energy_saving_percent,
+            if ok { "within tolerance" } else { "REJECTED" }
+        );
+        if ok && best.is_none_or(|(_, _, s)| row.energy_saving_percent > s) {
+            best = Some((m, acc, row.energy_saving_percent));
+        }
+    }
+    match best {
+        Some((m, acc, saving)) => println!(
+            "\nchosen deployment multiplier: {} — {acc:.2} % accuracy at {saving:.2} % \
+             multiplier energy saving",
+            m.id()
+        ),
+        None => println!("\nno approximate multiplier met the tolerance"),
+    }
+}

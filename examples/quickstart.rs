@@ -1,0 +1,71 @@
+//! Quickstart: one tour through every arithmetic system in the workspace.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nextgen_arith::approx::{ApproxMultiplier, ErrorMetrics};
+use nextgen_arith::fixed::{Fixed, FixedFormat, RoundingMode};
+use nextgen_arith::posit::{Posit, PositFormat, Quire};
+use nextgen_arith::softfloat::{FloatFormat, SoftFloat};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== posits (the §V headline format) ==");
+    let p16 = PositFormat::POSIT16;
+    let a = Posit::from_f64(2.5, p16);
+    let b = Posit::from_f64(-1.25, p16);
+    println!("  {a} * {b} = {}", a.mul(b));
+    println!("  1/{a} = {}", a.recip());
+    println!(
+        "  posit16 dynamic range: {:.2} decades (binary16: ~9.3)",
+        p16.dynamic_range_decades()
+    );
+    println!("  NaR * anything = {}", Posit::nar(p16).mul(a));
+
+    println!("\n== the quire: exact dot products ==");
+    let mut q = Quire::new(p16);
+    let tiny = Posit::from_f64((2.0f64).powi(-20), p16);
+    for _ in 0..1_000_000 {
+        q.add_product(tiny, tiny);
+    }
+    println!(
+        "  sum of 1e6 copies of 2^-40 via quire: {} (exactly rounded once)",
+        q.to_posit()
+    );
+
+    println!("\n== software IEEE 754 (pure bit manipulation) ==");
+    let f16 = FloatFormat::BINARY16;
+    let x = SoftFloat::from_f64(65504.0, f16);
+    let (y, flags) = x.mul_with_flags(SoftFloat::from_f64(2.0, f16));
+    println!("  65504 * 2 in binary16 = {y} (flags: {flags})");
+    let bf = FloatFormat::BFLOAT16;
+    println!(
+        "  1e38 fits bfloat16: {}, fits binary16: {}",
+        SoftFloat::from_f64(1e38, bf).is_finite(),
+        SoftFloat::from_f64(1e38, f16).is_finite()
+    );
+
+    println!("\n== fixed point ==");
+    let fmt = FixedFormat::signed(8, 8)?;
+    let v = Fixed::from_f64(3.14159, fmt, RoundingMode::NearestEven)?;
+    println!("  pi in {fmt}: {v} (raw {})", v.raw());
+
+    println!("\n== approximate multipliers (§IV) ==");
+    for m in [
+        ApproxMultiplier::DropLsb,
+        ApproxMultiplier::Mitchell,
+        ApproxMultiplier::Trunc9,
+    ] {
+        let e = ErrorMetrics::characterize(m);
+        println!(
+            "  {:<9} 213*89 = {:5} (exact 18957) | {e}",
+            m.id(),
+            m.multiply(213, 89)
+        );
+    }
+
+    println!(
+        "\nnext: cargo run --release -p nga-bench --bin fig9   (and fig1..fig10, table1, table2)"
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # nextgen-arith — next-generation arithmetic for edge computing
+//!
+//! A from-scratch Rust reproduction of *Next Generation Arithmetic for
+//! Edge Computing* (DATE 2020): posit arithmetic with a quire, parametric
+//! software IEEE 754 floats, parametric fixed point, the FloPoCo-style
+//! bit-heap and operator-generator frameworks, an approximate-multiplier
+//! library with a DNN retraining substrate, and hardware cost models for
+//! the posit-vs-float comparison.
+//!
+//! This facade re-exports every workspace crate under one roof; each
+//! sub-crate is also usable on its own:
+//!
+//! - [`posit`] (`nga-core`) — `Posit`, `PositFormat`, `Quire`
+//! - [`softfloat`] (`nga-softfloat`) — `SoftFloat`, `FloatFormat`
+//! - [`fixed`] (`nga-fixed`) — `Fixed`, `FixedFormat`
+//! - [`bitheap`] (`nga-bitheap`) — `BitHeap`, compressor trees, packing
+//! - [`funcgen`] (`nga-funcgen`) — operator generators, sin/cos, tables
+//! - [`approx`] (`nga-approx`) — the approximate 8×8 multiplier ladder
+//! - [`nn`] (`nga-nn`) — the DNN quantization/retraining substrate
+//! - [`hwmodel`] (`nga-hwmodel`) — ring plots, accuracy profiles, costs
+//!
+//! ```
+//! use nextgen_arith::posit::{Posit, PositFormat};
+//! use nextgen_arith::softfloat::{FloatFormat, SoftFloat};
+//!
+//! // The same value in three 16-bit systems:
+//! let x = 3.14159265;
+//! let p = Posit::from_f64(x, PositFormat::POSIT16);
+//! let f = SoftFloat::from_f64(x, FloatFormat::BINARY16);
+//! let b = SoftFloat::from_f64(x, FloatFormat::BFLOAT16);
+//! // Near 1.0, posits carry more fraction bits than either float:
+//! assert!((p.to_f64() - x).abs() < (f.to_f64() - x).abs());
+//! assert!((p.to_f64() - x).abs() < (b.to_f64() - x).abs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nga_approx as approx;
+pub use nga_bitheap as bitheap;
+pub use nga_core as posit;
+pub use nga_fixed as fixed;
+pub use nga_funcgen as funcgen;
+pub use nga_hwmodel as hwmodel;
+pub use nga_nn as nn;
+pub use nga_softfloat as softfloat;

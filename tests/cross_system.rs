@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the number systems, generators and
+//! models working together, as the paper's end-to-end story requires.
+
+use nextgen_arith::approx::ApproxMultiplier;
+use nextgen_arith::fixed::{Fixed, FixedFormat, RoundingMode};
+use nextgen_arith::funcgen::sincos::SinCos;
+use nextgen_arith::posit::{Posit, PositFormat, Quire};
+use nextgen_arith::softfloat::{FloatFormat, SoftFloat};
+
+/// A posit dot product through the quire versus an exact i128 fixed-point
+/// oracle built from the §V 58-bit expansion.
+#[test]
+fn quire_dot_product_matches_fixed_expansion_oracle() {
+    let p16 = PositFormat::POSIT16;
+    let xs: Vec<Posit> = (0..64u64)
+        .map(|i| Posit::from_bits((i * 771 + 9) & 0x7FFF, p16))
+        .collect();
+    let ys: Vec<Posit> = (0..64u64)
+        .map(|i| Posit::from_bits((i * 519 + 3) & 0x7FFF, p16))
+        .collect();
+    let mut q = Quire::new(p16);
+    // Oracle: every product is exact in (raw_a * raw_b) * 2^-56.
+    let mut exact: i128 = 0;
+    for (x, y) in xs.iter().zip(&ys) {
+        q.add_product(*x, *y);
+        let (ra, fa) = x.to_fixed_parts().expect("real");
+        let (rb, fb) = y.to_fixed_parts().expect("real");
+        assert_eq!(fa + fb, 56);
+        exact += ra * rb;
+    }
+    let want = Posit::from_parts(exact < 0, exact.unsigned_abs(), -56, p16);
+    assert_eq!(q.to_posit().bits(), want.bits());
+}
+
+/// Round-tripping values through all three 16-bit systems preserves the
+/// ordering of magnitudes (no system permutes values).
+#[test]
+fn all_systems_preserve_ordering() {
+    let values = [-200.0, -3.5, -0.01, 0.0, 0.007, 1.0, 42.0, 9999.0];
+    let p: Vec<f64> = values
+        .iter()
+        .map(|&v| Posit::from_f64(v, PositFormat::POSIT16).to_f64())
+        .collect();
+    let f: Vec<f64> = values
+        .iter()
+        .map(|&v| SoftFloat::from_f64(v, FloatFormat::BINARY16).to_f64())
+        .collect();
+    for w in p.windows(2) {
+        assert!(w[0] < w[1], "posit order");
+    }
+    for w in f.windows(2) {
+        assert!(w[0] < w[1], "float order");
+    }
+}
+
+/// The paper's Fig. 9 claim as a head-to-head rounding contest: over the
+/// "common" range, posit16 rounds closer than binary16 at least as often
+/// as the reverse.
+#[test]
+fn posit16_rounds_tighter_than_binary16_in_common_range() {
+    let mut posit_wins = 0u32;
+    let mut float_wins = 0u32;
+    for i in 0..4000 {
+        let x = 0.01 * 1.0023f64.powi(i); // 0.01 .. ~100
+        if x > 100.0 {
+            break;
+        }
+        let pe = (Posit::from_f64(x, PositFormat::POSIT16).to_f64() - x).abs();
+        let fe = (SoftFloat::from_f64(x, FloatFormat::BINARY16).to_f64() - x).abs();
+        if pe < fe {
+            posit_wins += 1;
+        } else if fe < pe {
+            float_wins += 1;
+        }
+    }
+    assert!(
+        posit_wins > 3 * float_wins,
+        "posit {posit_wins} vs float {float_wins}"
+    );
+}
+
+/// The sin/cos generator output converted into every 16-bit system stays
+/// within each system's own rounding error (generator and formats agree).
+#[test]
+fn generated_sincos_survives_format_conversion() {
+    let g = SinCos::generate(12, 6, 10);
+    for x in (0..(1u64 << 12)).step_by(97) {
+        let (s, _) = g.eval_f64(x);
+        let p = Posit::from_f64(s, PositFormat::POSIT16).to_f64();
+        assert!(
+            (p - s).abs() <= 2.0 * (2.0f64).powi(-12),
+            "posit16 carries 12-bit sin"
+        );
+        let fx = Fixed::from_f64(
+            s,
+            FixedFormat::signed(2, 12).expect("valid"),
+            RoundingMode::NearestEven,
+        )
+        .expect("finite");
+        assert!((fx.to_f64() - s).abs() <= (2.0f64).powi(-13));
+    }
+}
+
+/// Approximate multipliers injected into a quantized MAC loop reproduce
+/// their exhaustive MRE when measured on the fly (metrics and injection
+/// agree on semantics).
+#[test]
+fn injected_multiplier_error_matches_characterization() {
+    let m = ApproxMultiplier::Mitchell;
+    let metrics = nextgen_arith::approx::ErrorMetrics::characterize(m);
+    let mut rel_sum = 0.0;
+    let mut n = 0u64;
+    for a in (1..=255u32).step_by(2) {
+        for b in (1..=255u32).step_by(3) {
+            let exact = a * b;
+            let got = u32::from(m.multiply(a as u8, b as u8));
+            rel_sum += f64::from(exact.abs_diff(got)) / f64::from(exact);
+            n += 1;
+        }
+    }
+    let mre = 100.0 * rel_sum / n as f64;
+    assert!(
+        (mre - metrics.mre_percent).abs() < 0.5,
+        "sampled {mre} vs exhaustive {}",
+        metrics.mre_percent
+    );
+}
+
+/// Chained float16 accumulation drifts where the posit quire is exact —
+/// the §V argument for the quire, cross-checked between the two crates.
+#[test]
+fn quire_beats_float16_accumulation() {
+    let p16 = PositFormat::POSIT16;
+    let f16 = FloatFormat::BINARY16;
+    // 4096 terms of 1/64 sum to 64 exactly.
+    let term = 1.0 / 64.0;
+    let mut q = Quire::new(p16);
+    let pterm = Posit::from_f64(term, p16);
+    let one = Posit::one(p16);
+    let mut facc = SoftFloat::zero(f16);
+    let fterm = SoftFloat::from_f64(term, f16);
+    for _ in 0..4096 {
+        q.add_product(pterm, one);
+        facc = facc.add(fterm);
+    }
+    assert_eq!(q.to_posit().to_f64(), 64.0, "quire is exact");
+    // binary16 stalls once the sum's ulp exceeds the term.
+    assert!(
+        (facc.to_f64() - 64.0).abs() > 20.0,
+        "float16 drifts badly: {}",
+        facc.to_f64()
+    );
+}
