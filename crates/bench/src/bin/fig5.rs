@@ -85,6 +85,10 @@ fn kws_task(name: &'static str, seed: u64) -> Task {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     banner("Fig. 5 — accuracy with 10 approximate multipliers on 3 DNNs");
+    println!(
+        "kernels: im2col + MAC-LUT tensor layer, {} worker thread(s)\n",
+        nga_kernels::num_threads()
+    );
 
     let multipliers: Vec<ApproxMultiplier> = if quick {
         vec![

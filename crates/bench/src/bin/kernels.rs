@@ -1,0 +1,185 @@
+//! Kernel-tier characterization: ops/s for the scalar, table (LUT) and
+//! table+parallel matmul kernels over every 8-bit format, plus the f32
+//! serial vs parallel tensor layer.
+//!
+//! Prints a markdown table by default; `--json` additionally writes
+//! `BENCH_kernels.json` (machine-readable, checked into the repo so the
+//! README's Performance section has provenance).
+//!
+//! Environment: `NGA_BENCH_MS` sets the per-case measurement window
+//! (default 300 ms), `NGA_THREADS` caps the parallel tier's workers.
+
+use std::time::Instant;
+
+use nga_bench::{banner, print_table};
+use nga_kernels::{
+    default_kernel, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel,
+    num_threads, Format8, LutOp,
+};
+
+/// Times `f` repeatedly inside the measurement window; returns the best
+/// observed seconds per call.
+fn time_call<F: FnMut()>(mut f: F) -> f64 {
+    let window_ms = std::env::var("NGA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300)
+        .max(10);
+    let window = std::time::Duration::from_millis(window_ms);
+    // Calibrate a batch size filling ~1/10 of the window.
+    let mut n: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        let el = t.elapsed();
+        if el * 10 >= window || n >= 1 << 24 {
+            break;
+        }
+        n *= 4;
+    }
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut batches = 0u32;
+    while start.elapsed() < window || batches < 3 {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / n as f64);
+        batches += 1;
+        if batches >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+struct Row {
+    label: String,
+    macs: u64,
+    scalar: f64,
+    table: f64,
+    parallel: f64,
+}
+
+impl Row {
+    fn ops(&self, secs: f64) -> f64 {
+        self.macs as f64 / secs
+    }
+}
+
+fn bench_format(fmt: Format8, m: usize, k: usize, n: usize) -> Row {
+    let op = LutOp::new(fmt);
+    let a: Vec<u8> = (0..m * k).map(|i| (i * 37 + 11) as u8).collect();
+    let b: Vec<u8> = (0..k * n).map(|i| (i * 91 + 3) as u8).collect();
+    let mut out = vec![0u8; m * n];
+    let scalar = time_call(|| matmul8_scalar(fmt, &a, &b, &mut out, m, k, n));
+    let table = time_call(|| matmul8(&op, &a, &b, &mut out, m, k, n));
+    let parallel = time_call(|| matmul8_parallel(&op, &a, &b, &mut out, m, k, n));
+    std::hint::black_box(&out);
+    Row {
+        label: format!("matmul8[{}] {m}x{k}x{n}", fmt.id()),
+        macs: (m * k * n) as u64,
+        scalar,
+        table,
+        parallel,
+    }
+}
+
+fn bench_f32(m: usize, k: usize, n: usize) -> Row {
+    let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.001 - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| 0.5 - i as f32 * 0.001).collect();
+    let mut out = vec![0.0f32; m * n];
+    let serial = time_call(|| matmul_f32(&a, &b, &mut out, m, k, n));
+    let parallel = time_call(|| matmul_f32_parallel(&a, &b, &mut out, m, k, n));
+    std::hint::black_box(&out);
+    Row {
+        label: format!("matmul_f32 {m}x{k}x{n}"),
+        macs: (m * k * n) as u64,
+        scalar: serial,
+        table: serial,
+        parallel,
+    }
+}
+
+fn fmt_ops(ops: f64) -> String {
+    if ops >= 1e9 {
+        format!("{:.2} G", ops / 1e9)
+    } else if ops >= 1e6 {
+        format!("{:.2} M", ops / 1e6)
+    } else {
+        format!("{:.1} k", ops / 1e3)
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    banner("Kernel tiers — scalar vs table vs table+parallel");
+    println!(
+        "worker threads: {}, NGA_KERNEL selection: {}\n",
+        num_threads(),
+        default_kernel().name()
+    );
+
+    let (m, k, n) = (48, 64, 48);
+    let mut rows: Vec<Row> = Format8::ALL
+        .into_iter()
+        .map(|f| bench_format(f, m, k, n))
+        .collect();
+    rows.push(bench_f32(96, 128, 96));
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}ops/s", fmt_ops(r.ops(r.scalar))),
+                format!("{}ops/s", fmt_ops(r.ops(r.table))),
+                format!("{}ops/s", fmt_ops(r.ops(r.parallel))),
+                format!("{:.1}x", r.scalar / r.table),
+                format!("{:.1}x", r.scalar / r.parallel),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "kernel",
+            "scalar",
+            "table",
+            "parallel",
+            "table speedup",
+            "parallel speedup",
+        ],
+        &table_rows,
+    );
+
+    if json {
+        let mut entries: Vec<String> = Vec::new();
+        for r in &rows {
+            entries.push(format!(
+                concat!(
+                    "    {{\"kernel\": \"{}\", \"macs_per_call\": {}, ",
+                    "\"scalar_ops_per_s\": {:.0}, \"table_ops_per_s\": {:.0}, ",
+                    "\"parallel_ops_per_s\": {:.0}, ",
+                    "\"table_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}"
+                ),
+                r.label,
+                r.macs,
+                r.ops(r.scalar),
+                r.ops(r.table),
+                r.ops(r.parallel),
+                r.scalar / r.table,
+                r.scalar / r.parallel,
+            ));
+        }
+        let doc = format!(
+            "{{\n  \"bench\": \"kernels\",\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+            num_threads(),
+            entries.join(",\n")
+        );
+        std::fs::write("BENCH_kernels.json", &doc).expect("write BENCH_kernels.json");
+        println!("\nwrote BENCH_kernels.json");
+    }
+}

@@ -15,12 +15,16 @@ use nga_nn::train::{accuracy, accuracy_approx, train_float, TrainConfig};
 
 fn main() {
     banner("Table I — DNN characteristics");
+    println!(
+        "kernels: im2col + MAC-LUT tensor layer, {} worker thread(s)\n",
+        nga_kernels::num_threads()
+    );
 
     // Full-scale definitions: exact parameter/MAC accounting.
     let rn = resnet20(10, 1);
     let c1 = kws_cnn1(12, 2);
     let c2 = kws_cnn2(12, 3);
-    let full_rows = vec![
+    let full_rows = [
         (
             "ResNet20",
             "CIFAR (synthetic)",

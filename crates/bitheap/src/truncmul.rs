@@ -51,11 +51,11 @@ impl TruncatedMul {
         let mut heap = BitHeap::new();
         let mut kept = 0u32;
         let mut expected_dropped = 0.0f64;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, &bi) in b.iter().enumerate() {
+            for (j, &aj) in a.iter().enumerate() {
                 let w = i + j;
                 if w >= cut {
-                    let pp = net.and(&[a[j], b[i]]);
+                    let pp = net.and(&[aj, bi]);
                     heap.add_bit(w, pp);
                     kept += 1;
                 } else {

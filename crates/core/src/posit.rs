@@ -57,6 +57,7 @@ impl Posit {
     /// # Panics
     ///
     /// Panics if `bits` has bits set above the format's width.
+    #[inline]
     #[must_use]
     pub fn from_bits(bits: u64, format: PositFormat) -> Self {
         assert!(
@@ -83,6 +84,7 @@ impl Posit {
     }
 
     /// Not-a-Real.
+    #[inline]
     #[must_use]
     pub fn nar(format: PositFormat) -> Self {
         Self {
@@ -107,6 +109,7 @@ impl Posit {
     }
 
     /// The raw encoding bits (two's complement, right-aligned).
+    #[inline]
     #[must_use]
     pub fn bits(&self) -> u64 {
         self.bits
@@ -131,12 +134,14 @@ impl Posit {
     }
 
     /// Whether this is NaR.
+    #[inline]
     #[must_use]
     pub fn is_nar(&self) -> bool {
         self.class() == PositClass::Nar
     }
 
     /// Whether this is zero.
+    #[inline]
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.bits == 0
@@ -180,6 +185,7 @@ impl Posit {
 
     /// Decodes a real (non-zero, non-NaR) posit into sign/significand/
     /// exponent. Returns `None` for zero and NaR.
+    #[inline]
     #[must_use]
     pub fn unpack(&self) -> Option<Unpacked> {
         if self.class() != PositClass::Real {
@@ -238,6 +244,7 @@ impl Posit {
     /// posit, using the standard posit rounding: round to nearest with ties
     /// to the even encoding, never rounding a nonzero value to zero or NaR
     /// (saturate at `minpos`/`maxpos` instead).
+    #[inline]
     #[must_use]
     pub fn from_parts(sign: bool, sig: u128, exp: i32, format: PositFormat) -> Self {
         if sig == 0 {
@@ -720,18 +727,18 @@ mod tests {
             assert_eq!(fb, 28);
             assert_eq!(raw as f64 * (-(fb as f64)).exp2(), p.to_f64());
             // Fits in 58 bits signed.
-            assert!(raw >= -(1i128 << 57) && raw < (1i128 << 57));
+            assert!((-(1i128 << 57)..(1i128 << 57)).contains(&raw));
         }
     }
 
     #[test]
     fn convert_between_posit_widths() {
-        let x = Posit::from_f64(3.14159, P32);
+        let x = Posit::from_f64(std::f64::consts::PI, P32);
         let y = x.convert(P16);
         let direct = Posit::from_f64(x.to_f64(), P16);
         assert_eq!(y.bits(), direct.bits());
         let z = y.convert(P8);
-        assert!((z.to_f64() - 3.14159).abs() < 0.1);
+        assert!((z.to_f64() - std::f64::consts::PI).abs() < 0.1);
     }
 
     #[test]

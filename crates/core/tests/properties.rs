@@ -107,7 +107,7 @@ proptest! {
         let (raw, fb) = p.to_fixed_parts().expect("real");
         prop_assert_eq!(raw as f64 * (-(fb as f64)).exp2(), p.to_f64());
         // §V: fits in 58 bits.
-        prop_assert!(raw >= -(1i128 << 57) && raw < (1i128 << 57));
+        prop_assert!((-(1i128 << 57)..(1i128 << 57)).contains(&raw));
     }
 
     #[test]

@@ -190,13 +190,14 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) {
         b.swap(col, piv);
         let d = a[col][col];
         assert!(d.abs() > 1e-30, "singular normal equations");
+        let pivot_row: Vec<f64> = a[col][col..].to_vec();
         for row in 0..n {
             if row == col {
                 continue;
             }
             let factor = a[row][col] / d;
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (av, &pv) in a[row][col..].iter_mut().zip(&pivot_row) {
+                *av -= factor * pv;
             }
             b[row] -= factor * b[col];
         }

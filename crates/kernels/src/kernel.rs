@@ -1,0 +1,152 @@
+//! The [`Kernel`] trait: one vtable over the three execution tiers so
+//! benchmarks and binaries can A/B scalar vs table vs table+parallel
+//! without duplicating call sites.
+
+use crate::format8::Format8;
+use crate::table::LutOp;
+use crate::tensor;
+
+/// A tensor-kernel execution tier.
+pub trait Kernel: Sync {
+    /// Stable tier name (used in benchmark output and JSON).
+    fn name(&self) -> &'static str;
+
+    /// `out = a · b` over f32 (`a` m×k, `b` k×n, row-major).
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out = a · b` over 8-bit format codes.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul8(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+}
+
+/// Reference tier: serial loops through the bit-exact scalar ops
+/// (decode → compute → encode per element pair).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl Kernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        tensor::matmul_f32(a, b, out, m, k, n);
+    }
+
+    fn matmul8(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        tensor::matmul8_scalar(fmt, a, b, out, m, k, n);
+    }
+}
+
+/// Table tier: serial loops, one 64 KiB lookup per multiply/add.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableKernel;
+
+impl Kernel for TableKernel {
+    fn name(&self) -> &'static str {
+        "table"
+    }
+
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        tensor::matmul_f32(a, b, out, m, k, n);
+    }
+
+    fn matmul8(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        tensor::matmul8(&LutOp::new(fmt), a, b, out, m, k, n);
+    }
+}
+
+/// Full tier: lookup tables plus scoped-thread row bands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelKernel;
+
+impl Kernel for ParallelKernel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        tensor::matmul_f32_parallel(a, b, out, m, k, n);
+    }
+
+    fn matmul8(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        tensor::matmul8_parallel(&LutOp::new(fmt), a, b, out, m, k, n);
+    }
+}
+
+/// The tier selected by the `NGA_KERNEL` environment variable
+/// (`scalar` / `table` / `parallel`; default `parallel`).
+#[must_use]
+pub fn default_kernel() -> &'static dyn Kernel {
+    static SCALAR: ScalarKernel = ScalarKernel;
+    static TABLE: TableKernel = TableKernel;
+    static PARALLEL: ParallelKernel = ParallelKernel;
+    match std::env::var("NGA_KERNEL").as_deref() {
+        Ok("scalar") => &SCALAR,
+        Ok("table") => &TABLE,
+        _ => &PARALLEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_agree_on_both_domains() {
+        let kernels: [&dyn Kernel; 3] = [&ScalarKernel, &TableKernel, &ParallelKernel];
+        let (m, k, n) = (4, 6, 5);
+        let af: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.01 - 0.1).collect();
+        let bf: Vec<f32> = (0..k * n).map(|i| 0.2 - i as f32 * 0.01).collect();
+        let a8: Vec<u8> = (0..m * k).map(|i| (i * 53 + 7) as u8).collect();
+        let b8: Vec<u8> = (0..k * n).map(|i| (i * 29 + 1) as u8).collect();
+        let mut f32_ref = vec![0.0; m * n];
+        let mut u8_ref = vec![0u8; m * n];
+        kernels[0].matmul_f32(&af, &bf, &mut f32_ref, m, k, n);
+        kernels[0].matmul8(Format8::Posit8, &a8, &b8, &mut u8_ref, m, k, n);
+        for kr in &kernels[1..] {
+            let mut f = vec![0.0; m * n];
+            let mut u = vec![0u8; m * n];
+            kr.matmul_f32(&af, &bf, &mut f, m, k, n);
+            kr.matmul8(Format8::Posit8, &a8, &b8, &mut u, m, k, n);
+            assert_eq!(f, f32_ref, "{} f32", kr.name());
+            assert_eq!(u, u8_ref, "{} u8", kr.name());
+        }
+    }
+}

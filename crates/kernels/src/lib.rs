@@ -1,0 +1,40 @@
+//! Table-driven 8-bit arithmetic kernels and std-thread parallel tensor
+//! primitives.
+//!
+//! Every 8-bit number format in this workspace (posit⟨8,0⟩, FP8 E4M3,
+//! FP8 E5M2, Q4.4 fixed point) has at most 256 values, so any binary
+//! operation fits in a 64 KiB exhaustive table. This crate builds those
+//! tables lazily from the bit-exact scalar implementations in
+//! `nga-core`/`nga-softfloat`/`nga-fixed` and layers batched tensor
+//! kernels (dot, matmul, im2col convolution) on top, with optional
+//! `std::thread::scope` row parallelism — no external dependencies.
+//!
+//! Three interchangeable [`Kernel`] implementations let benchmarks A/B
+//! the tiers:
+//!
+//! * [`ScalarKernel`] — decode/compute/encode every element through the
+//!   reference scalar ops.
+//! * [`TableKernel`] — one 64 KiB lookup per multiply/add.
+//! * [`ParallelKernel`] — lookup tables plus scoped-thread row bands.
+//!
+//! The quantized-inference path gets the same treatment via
+//! [`MacTable`]: a 256 KiB signed multiply-accumulate table per
+//! [`nga_approx::ApproxMultiplier`], replacing a branch-and-widen per MAC
+//! with one indexed load.
+
+#![forbid(unsafe_code)]
+
+mod format8;
+mod kernel;
+mod parallel;
+mod table;
+mod tensor;
+
+pub use format8::Format8;
+pub use kernel::{default_kernel, Kernel, ParallelKernel, ScalarKernel, TableKernel};
+pub use parallel::{for_each_band, num_threads, split_bands};
+pub use table::{add_table, mac_table, mul_table, BinaryTable, LutOp, MacTable};
+pub use tensor::{
+    conv2d_f32, dot8, dot_f32, im2col, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32,
+    matmul_f32_parallel,
+};

@@ -1,0 +1,233 @@
+//! Exhaustive operation tables for 8-bit formats.
+//!
+//! A binary op over 8-bit codes has exactly 2¹⁶ input pairs, so the whole
+//! function fits in 64 KiB — smaller than most L2 caches. Tables are
+//! built once per process behind [`std::sync::OnceLock`]s from the
+//! bit-exact scalar ops, then every kernel multiply/add is a single
+//! indexed load.
+
+use std::sync::OnceLock;
+
+use nga_approx::ApproxMultiplier;
+
+use crate::format8::Format8;
+
+/// An exhaustive `u8 × u8 → u8` operation table (64 KiB).
+pub struct BinaryTable {
+    entries: Box<[u8; 65536]>,
+}
+
+impl BinaryTable {
+    /// Builds the table by evaluating `op` on all 65 536 input pairs.
+    #[must_use]
+    pub fn build(op: impl Fn(u8, u8) -> u8) -> Self {
+        let mut v = Vec::with_capacity(65536);
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                v.push(op(a, b));
+            }
+        }
+        let entries: Box<[u8; 65536]> = v
+            .into_boxed_slice()
+            .try_into()
+            .expect("exactly 65536 entries");
+        Self { entries }
+    }
+
+    /// Looks up `op(a, b)`.
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self, a: u8, b: u8) -> u8 {
+        // Indexing [u8; 65536] with (a << 8) | b is always in bounds, so
+        // the bounds check compiles away.
+        self.entries[(usize::from(a) << 8) | usize::from(b)]
+    }
+}
+
+impl std::fmt::Debug for BinaryTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinaryTable").finish_non_exhaustive()
+    }
+}
+
+static MUL_TABLES: [OnceLock<BinaryTable>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+static ADD_TABLES: [OnceLock<BinaryTable>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+/// The process-wide multiply table for `fmt` (built on first use).
+#[inline]
+pub fn mul_table(fmt: Format8) -> &'static BinaryTable {
+    MUL_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.mul_scalar(a, b)))
+}
+
+/// The process-wide addition table for `fmt` (built on first use).
+#[inline]
+pub fn add_table(fmt: Format8) -> &'static BinaryTable {
+    ADD_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.add_scalar(a, b)))
+}
+
+/// Cached multiply + add tables for one format: the unit the tensor
+/// kernels thread through their inner loops.
+#[derive(Debug, Clone, Copy)]
+pub struct LutOp {
+    format: Format8,
+    mul: &'static BinaryTable,
+    add: &'static BinaryTable,
+}
+
+impl LutOp {
+    /// The (lazily built) table pair for `fmt`.
+    #[must_use]
+    pub fn new(fmt: Format8) -> Self {
+        Self {
+            format: fmt,
+            mul: mul_table(fmt),
+            add: add_table(fmt),
+        }
+    }
+
+    /// The format these tables encode.
+    #[inline(always)]
+    #[must_use]
+    pub fn format(&self) -> Format8 {
+        self.format
+    }
+
+    /// Table-driven multiply.
+    #[inline(always)]
+    #[must_use]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        self.mul.get(a, b)
+    }
+
+    /// Table-driven add.
+    #[inline(always)]
+    #[must_use]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        self.add.get(a, b)
+    }
+}
+
+/// An exhaustive signed multiply-accumulate table for one approximate
+/// multiplier: `mac(w: i8, a: u8) = sign(w) · m.multiply(|w|, a)` for all
+/// 65 536 operand pairs (256 KiB of `i32`).
+///
+/// This is the quantized-inference inner op (`nga-nn`'s ProxSim path):
+/// one load replaces an abs/branch/widen/negate sequence per MAC.
+pub struct MacTable {
+    entries: Box<[i32; 65536]>,
+}
+
+impl MacTable {
+    /// Builds the table for `m`.
+    #[must_use]
+    pub fn build(m: ApproxMultiplier) -> Self {
+        let mut v = Vec::with_capacity(65536);
+        for w in 0..=255u8 {
+            let w = w as i8;
+            for a in 0..=255u8 {
+                let p = i32::from(m.multiply(w.unsigned_abs(), a));
+                v.push(if w < 0 { -p } else { p });
+            }
+        }
+        let entries: Box<[i32; 65536]> = v
+            .into_boxed_slice()
+            .try_into()
+            .expect("exactly 65536 entries");
+        Self { entries }
+    }
+
+    /// Looks up `sign(w) · m.multiply(|w|, a)`.
+    #[inline(always)]
+    #[must_use]
+    pub fn mac(&self, w: i8, a: u8) -> i32 {
+        self.entries[(usize::from(w as u8) << 8) | usize::from(a)]
+    }
+}
+
+impl std::fmt::Debug for MacTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MacTable").finish_non_exhaustive()
+    }
+}
+
+const MAC_VARIANTS: usize = 12;
+
+static MAC_TABLES: [OnceLock<MacTable>; MAC_VARIANTS] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+fn mac_index(m: ApproxMultiplier) -> usize {
+    match m {
+        ApproxMultiplier::Exact => 0,
+        ApproxMultiplier::DropLsb => 1,
+        ApproxMultiplier::Trunc3 => 2,
+        ApproxMultiplier::Trunc5 => 3,
+        ApproxMultiplier::Loa6 => 4,
+        ApproxMultiplier::Drum5 => 5,
+        ApproxMultiplier::Mitchell => 6,
+        ApproxMultiplier::Drum4 => 7,
+        ApproxMultiplier::BrokenArray8 => 8,
+        ApproxMultiplier::Drum3 => 9,
+        ApproxMultiplier::Trunc8 => 10,
+        ApproxMultiplier::Trunc9 => 11,
+    }
+}
+
+/// The process-wide MAC table for `m` (built on first use).
+#[inline]
+pub fn mac_table(m: ApproxMultiplier) -> &'static MacTable {
+    MAC_TABLES[mac_index(m)].get_or_init(|| MacTable::build(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_scalar_spot_checks() {
+        for fmt in Format8::ALL {
+            let op = LutOp::new(fmt);
+            for (a, b) in [(0u8, 0u8), (0x40, 0x40), (0x80, 0x23), (0xFF, 0x01)] {
+                assert_eq!(op.mul(a, b), fmt.mul_scalar(a, b), "{} mul", fmt.id());
+                assert_eq!(op.add(a, b), fmt.add_scalar(a, b), "{} add", fmt.id());
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_cached() {
+        let a = mul_table(Format8::Posit8) as *const BinaryTable;
+        let b = mul_table(Format8::Posit8) as *const BinaryTable;
+        assert_eq!(a, b, "OnceLock returns the same table");
+    }
+
+    #[test]
+    fn mac_table_signs() {
+        let t = mac_table(ApproxMultiplier::Exact);
+        assert_eq!(t.mac(3, 5), 15);
+        assert_eq!(t.mac(-3, 5), -15);
+        assert_eq!(t.mac(i8::MIN, 2), -256);
+        assert_eq!(t.mac(0, 200), 0);
+    }
+}

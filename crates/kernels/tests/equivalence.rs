@@ -1,0 +1,135 @@
+//! The table tier's correctness contract: for every 8-bit format, the
+//! 64 KiB lookup tables agree with the bit-exact scalar ops on **all**
+//! 65 536 input pairs (including NaR, NaN, infinities and both zeros),
+//! and the parallel tensor kernels agree with the serial ones
+//! bit-for-bit on random shapes.
+
+use nga_kernels::{
+    add_table, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel,
+    mul_table, Format8, LutOp,
+};
+use proptest::prelude::*;
+
+/// Special codes worth calling out in failure messages.
+fn label(fmt: Format8, code: u8) -> &'static str {
+    match (fmt, code) {
+        (Format8::Posit8, 0x80) => "NaR",
+        (Format8::E4m3, 0x7F | 0xFF) => "NaN",
+        (Format8::E5m2, 0x7C | 0xFC) => "inf",
+        (Format8::E5m2, c) if c & 0x7F > 0x7C => "NaN",
+        (_, 0x00) => "+0",
+        (Format8::E4m3 | Format8::E5m2, 0x80) => "-0",
+        _ => "",
+    }
+}
+
+fn exhaustive_for(fmt: Format8) {
+    let mul = mul_table(fmt);
+    let add = add_table(fmt);
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!(
+                mul.get(a, b),
+                fmt.mul_scalar(a, b),
+                "{} mul {a:#04x}{} × {b:#04x}{}",
+                fmt.id(),
+                label(fmt, a),
+                label(fmt, b),
+            );
+            assert_eq!(
+                add.get(a, b),
+                fmt.add_scalar(a, b),
+                "{} add {a:#04x}{} + {b:#04x}{}",
+                fmt.id(),
+                label(fmt, a),
+                label(fmt, b),
+            );
+        }
+    }
+}
+
+#[test]
+fn posit8_tables_match_scalar_on_all_65536_pairs() {
+    exhaustive_for(Format8::Posit8);
+}
+
+#[test]
+fn e4m3_tables_match_scalar_on_all_65536_pairs() {
+    exhaustive_for(Format8::E4m3);
+}
+
+#[test]
+fn e5m2_tables_match_scalar_on_all_65536_pairs() {
+    exhaustive_for(Format8::E5m2);
+}
+
+#[test]
+fn fixed8_tables_match_scalar_on_all_65536_pairs() {
+    exhaustive_for(Format8::Fixed8);
+}
+
+#[test]
+fn nar_is_absorbing_for_posit8_ops() {
+    // NaR in ⇒ NaR out, for every partner code, through the tables.
+    let op = LutOp::new(Format8::Posit8);
+    for b in 0..=255u8 {
+        assert_eq!(op.mul(0x80, b), 0x80, "NaR × {b:#04x}");
+        assert_eq!(op.add(0x80, b), 0x80, "NaR + {b:#04x}");
+        assert_eq!(op.mul(b, 0x80), 0x80, "{b:#04x} × NaR");
+        assert_eq!(op.add(b, 0x80), 0x80, "{b:#04x} + NaR");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_f32_matmul_is_bit_identical_to_serial(
+        m in 1usize..40,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u32 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut serial = vec![0.0f32; m * n];
+        let mut par = vec![0.0f32; m * n];
+        matmul_f32(&a, &b, &mut serial, m, k, n);
+        matmul_f32_parallel(&a, &b, &mut par, m, k, n);
+        let sb: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sb, pb);
+    }
+
+    #[test]
+    fn parallel_matmul8_matches_serial_and_scalar(
+        m in 1usize..24,
+        k in 1usize..16,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        for fmt in Format8::ALL {
+            let op = LutOp::new(fmt);
+            let mut state = seed ^ (fmt as u64);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            };
+            let a: Vec<u8> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<u8> = (0..k * n).map(|_| next()).collect();
+            let mut scalar = vec![0u8; m * n];
+            let mut serial = vec![0u8; m * n];
+            let mut par = vec![0u8; m * n];
+            matmul8_scalar(fmt, &a, &b, &mut scalar, m, k, n);
+            matmul8(&op, &a, &b, &mut serial, m, k, n);
+            matmul8_parallel(&op, &a, &b, &mut par, m, k, n);
+            prop_assert_eq!(&scalar, &serial, "{} table ≡ scalar", fmt.id());
+            prop_assert_eq!(&serial, &par, "{} parallel ≡ serial", fmt.id());
+        }
+    }
+}

@@ -72,35 +72,32 @@ impl Conv2d {
         let [out_ch, in_ch, k, _] = *self.weights.shape() else {
             unreachable!("conv weights are 4-D")
         };
+        assert_eq!(x.shape()[0], in_ch, "channel count");
         let (h, w) = (x.shape()[1], x.shape()[2]);
         let os = self.out_shape(x.shape());
-        let (oh, ow) = (os[1], os[2]);
-        let mut y = Tensor::zeros(&os);
-        for oc in 0..out_ch {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = self.bias.data()[oc];
-                    for ic in 0..in_ch {
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let wv = self.weights.data()[((oc * in_ch + ic) * k + ky) * k + kx];
-                                acc += wv * x.at3(ic, iy as usize, ix as usize);
-                            }
-                        }
-                    }
-                    *y.at3_mut(oc, oy, ox) = acc;
-                }
-            }
-        }
-        y
+        // im2col + row-banded matmul (nga-kernels). Accumulation per
+        // output pixel starts at the bias and runs in ascending
+        // (ic, ky, kx) order — the same order as the direct loop this
+        // replaces, so results only differ by padded taps contributing
+        // an exact +0.0.
+        let mut cols = Vec::new();
+        let mut out = Vec::new();
+        nga_kernels::conv2d_f32(
+            x.data(),
+            in_ch,
+            h,
+            w,
+            self.weights.data(),
+            self.bias.data(),
+            out_ch,
+            k,
+            k,
+            self.stride,
+            self.pad,
+            &mut cols,
+            &mut out,
+        );
+        Tensor::from_vec(&os, out)
     }
 
     fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
@@ -202,30 +199,51 @@ impl DwConv2d {
         let (h, w) = (x.shape()[1], x.shape()[2]);
         let os = self.out_shape(x.shape());
         let (oh, ow) = (os[1], os[2]);
-        let mut y = Tensor::zeros(&os);
-        for c in 0..ch {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = self.bias.data()[c];
-                    for ky in 0..k {
-                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+        let (stride, pad) = (self.stride, self.pad);
+        let xdata = x.data();
+        let wdata = self.weights.data();
+        let bias = self.bias.data();
+        let npix = oh * ow;
+        let mut y = vec![0.0f32; ch * npix];
+        // Channels are independent: one scoped thread band per group of
+        // channels. Per pixel, the valid kernel-tap window is clipped
+        // once and walked with running offsets instead of re-deriving
+        // padded coordinates per tap.
+        nga_kernels::for_each_band(&mut y, ch, npix, |chans, band| {
+            for (lc, c) in chans.enumerate() {
+                let plane = &xdata[c * h * w..(c + 1) * h * w];
+                let wk = &wdata[c * k * k..(c + 1) * k * k];
+                let b = bias[c];
+                let orow = &mut band[lc * npix..(lc + 1) * npix];
+                let mut oidx = 0;
+                for oy in 0..oh {
+                    let iy0 = (oy * stride) as isize - pad as isize;
+                    let ky_lo = (-iy0).clamp(0, k as isize) as usize;
+                    let ky_hi = (h as isize - iy0).clamp(0, k as isize) as usize;
+                    for ox in 0..ow {
+                        let ix0 = (ox * stride) as isize - pad as isize;
+                        let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                        let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+                        let mut acc = b;
+                        for ky in ky_lo..ky_hi {
+                            let irow = (iy0 + ky as isize) as usize * w;
+                            let ibase = irow + (ix0 + kx_lo as isize) as usize;
+                            let wbase = ky * k + kx_lo;
+                            let taps = kx_hi - kx_lo;
+                            for (wv, xv) in wk[wbase..wbase + taps]
+                                .iter()
+                                .zip(&plane[ibase..ibase + taps])
+                            {
+                                acc += wv * xv;
                             }
-                            acc += self.weights.data()[(c * k + ky) * k + kx]
-                                * x.at3(c, iy as usize, ix as usize);
                         }
+                        orow[oidx] = acc;
+                        oidx += 1;
                     }
-                    *y.at3_mut(c, oy, ox) = acc;
                 }
             }
-        }
-        y
+        });
+        Tensor::from_vec(&os, y)
     }
 
     fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
@@ -303,16 +321,19 @@ impl Dense {
             unreachable!("dense weights are 2-D")
         };
         assert_eq!(x.len(), input, "dense input size");
-        let mut y = Tensor::zeros(&[out]);
-        for o in 0..out {
-            let mut acc = self.bias.data()[o];
-            let row = &self.weights.data()[o * input..(o + 1) * input];
-            for (wv, xv) in row.iter().zip(x.data()) {
-                acc += wv * xv;
+        let wdata = self.weights.data();
+        let bias = self.bias.data();
+        let xdata = x.data();
+        let mut y = vec![0.0f32; out];
+        // One output row per weight row; banded across threads for wide
+        // layers, serial below the parallel cutoff.
+        nga_kernels::for_each_band(&mut y, out, 1, |rows, band| {
+            for (li, o) in rows.enumerate() {
+                let row = &wdata[o * input..(o + 1) * input];
+                band[li] = bias[o] + nga_kernels::dot_f32(row, xdata);
             }
-            y.data_mut()[o] = acc;
-        }
-        y
+        });
+        Tensor::from_vec(&[out], y)
     }
 
     fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {

@@ -240,8 +240,9 @@ fn quantize_weights(w: &[f32]) -> (Vec<i8>, f32) {
     (codes, scale)
 }
 
-/// One signed approximate MAC: `sign(w) * M(|w|, a)`.
-#[inline]
+/// One signed approximate MAC: `sign(w) * M(|w|, a)` — the scalar
+/// reference the [`nga_kernels::mac_table`] lookup is proven against.
+#[cfg(test)]
 fn approx_mac(m: ApproxMultiplier, w: i8, a: u8) -> i32 {
     let p = i32::from(m.multiply(w.unsigned_abs(), a));
     if w < 0 {
@@ -284,38 +285,64 @@ fn conv_forward(c: &QConv, x: &Tensor, m: ApproxMultiplier) -> Tensor {
     let ow = (w + 2 * c.pad - k) / c.stride + 1;
     // Quantize the input feature map once.
     let xq: Vec<u8> = x.data().iter().map(|&v| c.in_q.quantize(v)).collect();
-    let mut y = Tensor::zeros(&[out_ch, oh, ow]);
     let rescale = c.w_scale * c.in_q.scale;
-    for oc in 0..out_ch {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc: i32 = 0;
-                let mut wsum: i32 = 0;
-                for ic in 0..in_ch {
-                    for ky in 0..k {
-                        let iy = (oy * c.stride + ky) as isize - c.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * c.stride + kx) as isize - c.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+    let mac = nga_kernels::mac_table(m);
+    let npix = oh * ow;
+    // Interior pixels see every kernel tap, so their Σw is the full
+    // per-channel weight sum; only clipped border pixels recompute it.
+    let full_wsum: Vec<i32> = (0..out_ch)
+        .map(|oc| {
+            c.wq[oc * in_ch * k * k..(oc + 1) * in_ch * k * k]
+                .iter()
+                .map(|&wv| i32::from(wv))
+                .sum()
+        })
+        .collect();
+    let mut y = vec![0.0f32; out_ch * npix];
+    nga_kernels::for_each_band(&mut y, out_ch, npix, |ocs, band| {
+        for (loc, oc) in ocs.enumerate() {
+            let wq = &c.wq[oc * in_ch * k * k..(oc + 1) * in_ch * k * k];
+            let orow = &mut band[loc * npix..(loc + 1) * npix];
+            let mut oidx = 0;
+            for oy in 0..oh {
+                let iy0 = (oy * c.stride) as isize - c.pad as isize;
+                let ky_lo = (-iy0).clamp(0, k as isize) as usize;
+                let ky_hi = (h as isize - iy0).clamp(0, k as isize) as usize;
+                for ox in 0..ow {
+                    let ix0 = (ox * c.stride) as isize - c.pad as isize;
+                    let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                    let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+                    let clipped = ky_hi - ky_lo < k || kx_hi - kx_lo < k;
+                    let mut acc: i32 = 0;
+                    let mut wsum: i32 = if clipped { 0 } else { full_wsum[oc] };
+                    for ic in 0..in_ch {
+                        let plane = &xq[ic * h * w..(ic + 1) * h * w];
+                        let wch = &wq[ic * k * k..(ic + 1) * k * k];
+                        for ky in ky_lo..ky_hi {
+                            let ibase =
+                                (iy0 + ky as isize) as usize * w + (ix0 + kx_lo as isize) as usize;
+                            let wbase = ky * k + kx_lo;
+                            let taps = kx_hi - kx_lo;
+                            for (&wv, &av) in wch[wbase..wbase + taps]
+                                .iter()
+                                .zip(&plane[ibase..ibase + taps])
+                            {
+                                acc += mac.mac(wv, av);
+                                if clipped {
+                                    wsum += i32::from(wv);
+                                }
                             }
-                            let wv = c.wq[((oc * in_ch + ic) * k + ky) * k + kx];
-                            let av = xq[(ic * h + iy as usize) * w + ix as usize];
-                            acc += approx_mac(m, wv, av);
-                            wsum += i32::from(wv);
                         }
                     }
+                    // Zero-point folding is exact: subtract z * Σw.
+                    let corrected = acc - c.in_q.zero * wsum;
+                    orow[oidx] = corrected as f32 * rescale + c.bias[oc];
+                    oidx += 1;
                 }
-                // Zero-point folding is exact: subtract z * Σw.
-                let corrected = acc - c.in_q.zero * wsum;
-                *y.at3_mut(oc, oy, ox) = corrected as f32 * rescale + c.bias[oc];
             }
         }
-    }
-    y
+    });
+    Tensor::from_vec(&[out_ch, oh, ow], y)
 }
 
 fn dwconv_forward(c: &QDwConv, x: &Tensor, m: ApproxMultiplier) -> Tensor {
@@ -324,54 +351,80 @@ fn dwconv_forward(c: &QDwConv, x: &Tensor, m: ApproxMultiplier) -> Tensor {
     let oh = (h + 2 * c.pad - k) / c.stride + 1;
     let ow = (w + 2 * c.pad - k) / c.stride + 1;
     let xq: Vec<u8> = x.data().iter().map(|&v| c.in_q.quantize(v)).collect();
-    let mut y = Tensor::zeros(&[ch, oh, ow]);
     let rescale = c.w_scale * c.in_q.scale;
-    for cc in 0..ch {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc: i32 = 0;
-                let mut wsum: i32 = 0;
-                for ky in 0..k {
-                    let iy = (oy * c.stride + ky) as isize - c.pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..k {
-                        let ix = (ox * c.stride + kx) as isize - c.pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+    let mac = nga_kernels::mac_table(m);
+    let npix = oh * ow;
+    let full_wsum: Vec<i32> = (0..ch)
+        .map(|cc| {
+            c.wq[cc * k * k..(cc + 1) * k * k]
+                .iter()
+                .map(|&wv| i32::from(wv))
+                .sum()
+        })
+        .collect();
+    let mut y = vec![0.0f32; ch * npix];
+    nga_kernels::for_each_band(&mut y, ch, npix, |chans, band| {
+        for (lc, cc) in chans.enumerate() {
+            let plane = &xq[cc * h * w..(cc + 1) * h * w];
+            let wk = &c.wq[cc * k * k..(cc + 1) * k * k];
+            let orow = &mut band[lc * npix..(lc + 1) * npix];
+            let mut oidx = 0;
+            for oy in 0..oh {
+                let iy0 = (oy * c.stride) as isize - c.pad as isize;
+                let ky_lo = (-iy0).clamp(0, k as isize) as usize;
+                let ky_hi = (h as isize - iy0).clamp(0, k as isize) as usize;
+                for ox in 0..ow {
+                    let ix0 = (ox * c.stride) as isize - c.pad as isize;
+                    let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                    let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+                    let clipped = ky_hi - ky_lo < k || kx_hi - kx_lo < k;
+                    let mut acc: i32 = 0;
+                    let mut wsum: i32 = if clipped { 0 } else { full_wsum[cc] };
+                    for ky in ky_lo..ky_hi {
+                        let ibase =
+                            (iy0 + ky as isize) as usize * w + (ix0 + kx_lo as isize) as usize;
+                        let wbase = ky * k + kx_lo;
+                        let taps = kx_hi - kx_lo;
+                        for (&wv, &av) in wk[wbase..wbase + taps]
+                            .iter()
+                            .zip(&plane[ibase..ibase + taps])
+                        {
+                            acc += mac.mac(wv, av);
+                            if clipped {
+                                wsum += i32::from(wv);
+                            }
                         }
-                        let wv = c.wq[(cc * k + ky) * k + kx];
-                        let av = xq[(cc * h + iy as usize) * w + ix as usize];
-                        acc += approx_mac(m, wv, av);
-                        wsum += i32::from(wv);
                     }
+                    let corrected = acc - c.in_q.zero * wsum;
+                    orow[oidx] = corrected as f32 * rescale + c.bias[cc];
+                    oidx += 1;
                 }
-                let corrected = acc - c.in_q.zero * wsum;
-                *y.at3_mut(cc, oy, ox) = corrected as f32 * rescale + c.bias[cc];
             }
         }
-    }
-    y
+    });
+    Tensor::from_vec(&[ch, oh, ow], y)
 }
 
 fn dense_forward(d: &QDense, x: &Tensor, m: ApproxMultiplier) -> Tensor {
     assert_eq!(x.len(), d.input, "dense input size");
     let xq: Vec<u8> = x.data().iter().map(|&v| d.in_q.quantize(v)).collect();
     let rescale = d.w_scale * d.in_q.scale;
-    let mut y = Tensor::zeros(&[d.out]);
-    for o in 0..d.out {
-        let mut acc: i32 = 0;
-        let mut wsum: i32 = 0;
-        for i in 0..d.input {
-            let wv = d.wq[o * d.input + i];
-            acc += approx_mac(m, wv, xq[i]);
-            wsum += i32::from(wv);
+    let mac = nga_kernels::mac_table(m);
+    let mut y = vec![0.0f32; d.out];
+    nga_kernels::for_each_band(&mut y, d.out, 1, |rows, band| {
+        for (li, o) in rows.enumerate() {
+            let row = &d.wq[o * d.input..(o + 1) * d.input];
+            let mut acc: i32 = 0;
+            let mut wsum: i32 = 0;
+            for (&wv, &av) in row.iter().zip(&xq) {
+                acc += mac.mac(wv, av);
+                wsum += i32::from(wv);
+            }
+            let corrected = acc - d.in_q.zero * wsum;
+            band[li] = corrected as f32 * rescale + d.bias[o];
         }
-        let corrected = acc - d.in_q.zero * wsum;
-        y.data_mut()[o] = corrected as f32 * rescale + d.bias[o];
-    }
-    y
+    });
+    Tensor::from_vec(&[d.out], y)
 }
 
 #[cfg(test)]
@@ -380,6 +433,23 @@ mod tests {
     use crate::layers::{Conv2d, Dense};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn mac_table_matches_scalar_reference_exhaustively() {
+        // Exact plus the ladder's two ends: every (w, a) pair.
+        for m in [
+            ApproxMultiplier::Exact,
+            ApproxMultiplier::DropLsb,
+            ApproxMultiplier::Trunc9,
+        ] {
+            let t = nga_kernels::mac_table(m);
+            for w in i8::MIN..=i8::MAX {
+                for a in 0..=255u8 {
+                    assert_eq!(t.mac(w, a), approx_mac(m, w, a), "{m:?} w={w} a={a}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn quant_params_round_trip_within_half_step() {

@@ -13,6 +13,10 @@ use crate::FloatClass;
 /// A value together with the exception flags its computation raised.
 pub(crate) type WithFlags = (SoftFloat, Flags);
 
+// `add`/`sub`/`mul`/`div` mirror the softfloat naming convention; the std
+// ops traits are unsuitable because operand formats must match at runtime
+// (they panic on mismatch) and the flag-returning variants are primary.
+#[allow(clippy::should_implement_trait)]
 impl SoftFloat {
     /// Addition with round-to-nearest-even, returning exception flags.
     ///
@@ -448,7 +452,7 @@ mod tests {
         assert!(r * r <= big);
         assert!(r
             .checked_add(1)
-            .map_or(true, |r1| r1.checked_mul(r1).map_or(true, |sq| sq > big)));
+            .is_none_or(|r1| r1.checked_mul(r1).is_none_or(|sq| sq > big)));
     }
 
     #[test]
@@ -632,7 +636,7 @@ mod tests {
             s ^= s << 13;
             s ^= s >> 7;
             s ^= s << 17;
-            (s & 0xFFFF_FFFF) as u64
+            s & 0xFFFF_FFFF
         };
         for _ in 0..20000 {
             let ab = next();
@@ -681,7 +685,7 @@ mod tests {
             s ^= s << 13;
             s ^= s >> 7;
             s ^= s << 17;
-            (s & 0xFFFF_FFFF) as u64
+            s & 0xFFFF_FFFF
         };
         for _ in 0..5000 {
             let (ab, bb, cb) = (next(), next(), next());

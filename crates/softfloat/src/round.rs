@@ -20,6 +20,7 @@ pub(crate) struct RoundOutcome {
 
 /// Right-shifts `sig` by `k`, ORing every shifted-out bit into the result's
 /// least-significant bit (the "sticky" bit).
+#[inline]
 #[must_use]
 pub(crate) fn shift_right_sticky(sig: u128, k: u32) -> u128 {
     if k == 0 {
@@ -39,6 +40,8 @@ pub(crate) fn shift_right_sticky(sig: u128, k: u32) -> u128 {
 /// `drop` may exceed the width of `sig`; callers guarantee the sticky bit
 /// (if any) sits strictly below the round bit, which [`shift_right_sticky`]
 /// preserves.
+#[inline]
+#[must_use]
 fn round_drop(mut sig: u128, mut drop: u32, mode: Rounding, sign: bool) -> (u128, bool) {
     if drop == 0 {
         return (sig, false);
@@ -73,6 +76,7 @@ fn round_drop(mut sig: u128, mut drop: u32, mode: Rounding, sign: bool) -> (u128
 /// largest finite value, per the directed-rounding rules of IEEE 754
 /// §7.4), and exact zeros. This is the only place in the crate where
 /// rounding happens.
+#[inline]
 #[must_use]
 pub(crate) fn round_pack(sign: bool, sig: u128, exp: i32, fmt: FloatFormat) -> RoundOutcome {
     let mode = fmt.rounding();

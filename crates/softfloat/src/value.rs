@@ -530,14 +530,14 @@ mod tests {
 
     #[test]
     fn conversion_between_formats() {
-        let x = SoftFloat::from_f64(3.14159265, FloatFormat::BINARY32);
+        let x = SoftFloat::from_f64(std::f64::consts::PI, FloatFormat::BINARY32);
         let y = x.convert(F16);
         // Correct single rounding of the f32 value into f16.
         let expect = SoftFloat::from_f64(x.to_f64(), F16);
         assert_eq!(y.bits(), expect.bits());
         // bfloat16 keeps the top 7 fraction bits of binary32 (RNE).
         let bf = x.convert(FloatFormat::BFLOAT16);
-        assert!((bf.to_f64() - 3.14159265).abs() < 0.02);
+        assert!((bf.to_f64() - std::f64::consts::PI).abs() < 0.02);
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn next_up_f16(x: f64) -> f64 {
     best
 }
 
-/// Next representable binary16 below `x`.
+/// Next representable binary16 below `x` (symmetric to [`next_up_f16`]).
+#[allow(dead_code)]
 fn next_down_f16(x: f64) -> f64 {
     let mut best = f64::NEG_INFINITY;
     let f = SoftFloat::from_f64(x, BASE);

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== fixed point ==");
     let fmt = FixedFormat::signed(8, 8)?;
-    let v = Fixed::from_f64(3.14159, fmt, RoundingMode::NearestEven)?;
+    let v = Fixed::from_f64(std::f64::consts::PI, fmt, RoundingMode::NearestEven)?;
     println!("  pi in {fmt}: {v} (raw {})", v.raw());
 
     println!("\n== approximate multipliers (§IV) ==");

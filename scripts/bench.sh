@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerate the kernel-tier numbers: BENCH_kernels.json at the repo root
+# plus a Criterion pass over the kernels bench group.
+#
+# Knobs (environment):
+#   NGA_BENCH_MS  per-case measurement window in ms (default 300)
+#   NGA_THREADS   worker-thread cap for the parallel tier
+# Usage: scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release -p nga-bench --bin kernels -- --json
+cargo bench -p nga-bench --bench kernels

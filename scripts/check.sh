@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 gate: release build, full test suite, clippy clean.
+# Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
