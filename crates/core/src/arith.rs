@@ -34,8 +34,11 @@ impl Posit {
         if rhs.is_zero() {
             return self;
         }
-        let a = self.unpack().expect("real posit");
-        let b = rhs.unpack().expect("real posit");
+        let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
+            // NaR/zero were handled above; unreachable, but NaR is the
+            // only sound answer if decode ever fails.
+            return Self::nar(fmt);
+        };
         // Exact alignment: posit32 significands are <= 28 bits and scales
         // span +-120, so the aligned sum always fits i128 (28 + 241 < ...
         // is too wide; align to the *smaller* exponent but cap the span).
@@ -100,8 +103,9 @@ impl Posit {
         if self.is_zero() || rhs.is_zero() {
             return Self::zero(fmt);
         }
-        let a = self.unpack().expect("real posit");
-        let b = rhs.unpack().expect("real posit");
+        let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
+            return Self::nar(fmt);
+        };
         let prod = a.sig as u128 * b.sig as u128;
         Self::from_parts(a.sign ^ b.sign, prod, a.exp + b.exp, fmt)
     }
@@ -122,8 +126,9 @@ impl Posit {
         if self.is_zero() {
             return Self::zero(fmt);
         }
-        let a = self.unpack().expect("real posit");
-        let b = rhs.unpack().expect("real posit");
+        let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
+            return Self::nar(fmt);
+        };
         // Quotient with n + 4 extra bits; remainder folds into sticky.
         let extra = fmt.n() + 4;
         let num = (a.sig as u128) << extra;
@@ -147,7 +152,9 @@ impl Posit {
         if self.is_zero() {
             return self;
         }
-        let u = self.unpack().expect("real posit");
+        let Some(u) = self.unpack() else {
+            return Self::nar(fmt);
+        };
         let mut sig = u.sig as u128;
         let mut exp = u.exp;
         if exp & 1 != 0 {
@@ -181,15 +188,18 @@ impl Posit {
         if self.is_zero() || b.is_zero() {
             return c;
         }
-        let ua = self.unpack().expect("real posit");
-        let ub = b.unpack().expect("real posit");
+        let (Some(ua), Some(ub)) = (self.unpack(), b.unpack()) else {
+            return Self::nar(fmt);
+        };
         let prod = ua.sig as u128 * ub.sig as u128;
         let psign = ua.sign ^ ub.sign;
         let pexp = ua.exp + ub.exp;
         if c.is_zero() {
             return Self::from_parts(psign, prod, pexp, fmt);
         }
-        let uc = c.unpack().expect("real posit");
+        let Some(uc) = c.unpack() else {
+            return Self::nar(fmt);
+        };
         let (hi_sig, hi_exp, hi_sign, lo_sig, lo_exp, lo_sign) = if pexp >= uc.exp {
             (prod, pexp, psign, uc.sig as u128, uc.exp, uc.sign)
         } else {

@@ -77,6 +77,9 @@ impl PositFormat {
         (self.n as i32 - 2) * self.useed_log2()
     }
 
+    // lint: allow-start(no-host-float): format *metadata* reported in f64
+    // for display and analysis; the encode/decode datapath uses max_scale
+    // (integer) only.
     /// Largest representable value, `2^max_scale`.
     #[must_use]
     pub fn maxpos(&self) -> f64 {
@@ -88,6 +91,7 @@ impl PositFormat {
     pub fn minpos(&self) -> f64 {
         (-self.max_scale() as f64).exp2()
     }
+    // lint: allow-end(no-host-float)
 
     /// Mask covering the `n` storage bits.
     #[must_use]
@@ -110,10 +114,13 @@ impl PositFormat {
     ///
     /// §V: "almost 17 orders of magnitude" for posit16 — `log10(2^56) ≈
     /// 16.86`.
+    // lint: allow-start(no-host-float): format metadata for reporting,
+    // not arithmetic.
     #[must_use]
     pub fn dynamic_range_decades(&self) -> f64 {
         2.0 * self.max_scale() as f64 * std::f64::consts::LOG10_2
     }
+    // lint: allow-end(no-host-float)
 
     /// Number of fraction bits available at scale 0 (regime `0b10`): the
     /// "easy decode" arc of Fig. 7 where exactly two regime bits are used.

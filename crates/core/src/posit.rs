@@ -214,6 +214,14 @@ impl Posit {
         } else {
             -(run as i32)
         };
+        debug_assert!(
+            (1..=n - 1).contains(&run),
+            "regime run {run} must stay inside the {n}-bit body"
+        );
+        debug_assert!(
+            k.unsigned_abs() < n,
+            "regime value {k} out of range for n = {n}"
+        );
         // Regime bits consumed: run plus terminator (when present).
         let used = (run + 1).min(n - 1);
         let avail = n - 1 - used;
@@ -225,6 +233,7 @@ impl Posit {
         } else {
             ((rest >> (64 - e_present)) as u32) << (es - e_present)
         };
+        debug_assert!(e >> es == 0, "exponent field {e} exceeds {es} bits");
         let frac_len = avail - e_present;
         let frac = if frac_len == 0 {
             0
@@ -315,9 +324,17 @@ impl Posit {
         } else {
             mag
         };
+        // Rounding must stay inside the real half-planes: the clamp above
+        // keeps |mag| in [1, 2^(n-1) - 1], so neither special encoding is
+        // reachable.
+        debug_assert!(bits != fmt.nar_bits(), "encode produced the NaR pattern");
+        debug_assert!(bits != 0, "nonzero value rounded to the zero pattern");
         Self { bits, format: fmt }
     }
 
+    // lint: allow-start(no-host-float): declared host<->posit conversion
+    // boundary — never on a compute path; tables and kernels go through
+    // from_parts/unpack only.
     /// Converts an `f64` to the nearest posit. NaN and infinities map to
     /// NaR; both zeros map to zero.
     #[must_use]
@@ -348,7 +365,9 @@ impl Posit {
             PositClass::Zero => 0.0,
             PositClass::Nar => f64::NAN,
             PositClass::Real => {
-                let u = self.unpack().expect("real posit unpacks");
+                let Some(u) = self.unpack() else {
+                    return f64::NAN;
+                };
                 let v = u.sig as f64 * (u.exp as f64).exp2();
                 if u.sign {
                     -v
@@ -358,6 +377,7 @@ impl Posit {
             }
         }
     }
+    // lint: allow-end(no-host-float)
 
     /// Converts to another posit format with a single correct rounding.
     #[must_use]
@@ -366,7 +386,9 @@ impl Posit {
             PositClass::Zero => Self::zero(format),
             PositClass::Nar => Self::nar(format),
             PositClass::Real => {
-                let u = self.unpack().expect("real posit unpacks");
+                let Some(u) = self.unpack() else {
+                    return Self::nar(format);
+                };
                 Self::from_parts(u.sign, u.sig as u128, u.exp, format)
             }
         }
@@ -385,7 +407,7 @@ impl Posit {
             PositClass::Nar => None,
             PositClass::Zero => Some((0, self.format.max_scale() as u32)),
             PositClass::Real => {
-                let u = self.unpack().expect("real posit unpacks");
+                let u = self.unpack()?;
                 let frac_bits = self.format.max_scale() as u32;
                 // value = sig * 2^exp = raw * 2^-frac_bits
                 // => raw = sig << (exp + frac_bits); the shift is always
@@ -427,7 +449,7 @@ impl Posit {
             PositClass::Nar => None,
             PositClass::Zero => Some(0),
             PositClass::Real => {
-                let u = self.unpack().expect("real posit");
+                let u = self.unpack()?;
                 let mag: i64 = if u.exp >= 0 {
                     let sig_bits = 64 - u.sig.leading_zeros();
                     if u.exp as u32 + sig_bits > 63 {
@@ -527,6 +549,8 @@ impl Posit {
         if t.eq_ignore_ascii_case("nar") {
             return Ok(Self::nar(format));
         }
+        // lint: allow-start(no-host-float): text round-trips through the
+        // host decimal parser; the value is re-rounded by from_f64.
         let v: f64 = t.parse().map_err(|_| ParsePositError {
             reason: "expected a decimal number or NaR",
         })?;
@@ -536,6 +560,7 @@ impl Posit {
             });
         }
         Ok(Self::from_f64(v, format))
+        // lint: allow-end(no-host-float)
     }
 }
 

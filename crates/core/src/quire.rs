@@ -143,8 +143,12 @@ impl Quire {
         if a.is_zero() || b.is_zero() {
             return;
         }
-        let ua = a.unpack().expect("real posit");
-        let ub = b.unpack().expect("real posit");
+        let (Some(ua), Some(ub)) = (a.unpack(), b.unpack()) else {
+            // NaR/zero were dispatched above; poison the quire rather
+            // than panic if decode ever fails.
+            self.nar = true;
+            return;
+        };
         let prod = ua.sig as u128 * ub.sig as u128;
         let pos = ua.exp + ub.exp - self.lsb_weight();
         debug_assert!(pos >= 0, "product LSB below quire LSB");
@@ -217,7 +221,7 @@ impl Quire {
         if self.nar {
             return Posit::nar(self.format);
         }
-        let top = *self.words.last().expect("quire has words");
+        let top = self.words.last().copied().unwrap_or(0);
         let negative = top >> 63 == 1;
         // Magnitude in two's complement.
         let mag: Vec<u64> = if negative {

@@ -65,14 +65,25 @@ impl Fixed {
         }
         match overflow {
             OverflowMode::Error => Err(FixedError::Overflow { format, raw }),
-            OverflowMode::Saturate => Ok(Self {
-                raw: if raw > format.max_raw() {
+            OverflowMode::Saturate => {
+                let clamped = if raw > format.max_raw() {
                     format.max_raw()
                 } else {
                     format.min_raw()
-                },
-                format,
-            }),
+                };
+                debug_assert!(
+                    format.contains_raw(clamped),
+                    "saturation must land on a representable rail"
+                );
+                debug_assert!(
+                    (raw > format.max_raw()) == (clamped == format.max_raw()),
+                    "saturation picked the wrong rail for raw = {raw}"
+                );
+                Ok(Self {
+                    raw: clamped,
+                    format,
+                })
+            }
             OverflowMode::Wrap => {
                 let bits = format.total_bits();
                 let mask = if bits == 128 {
@@ -92,6 +103,8 @@ impl Fixed {
         }
     }
 
+    // lint: allow-start(no-host-float): declared host<->fixed conversion
+    // boundary; raw-integer arithmetic never calls through it.
     /// Converts an `f64` to fixed point with the given rounding, saturating
     /// on overflow.
     ///
@@ -106,6 +119,7 @@ impl Fixed {
         let raw = round_scaled(scaled, mode);
         Self::from_raw_with(raw, format, OverflowMode::Saturate)
     }
+    // lint: allow-end(no-host-float)
 
     /// The raw two's-complement integer (in ulps).
     #[must_use]
@@ -120,10 +134,12 @@ impl Fixed {
     }
 
     /// The represented real value.
+    // lint: allow-start(no-host-float): fixed->host conversion boundary.
     #[must_use]
     pub fn to_f64(&self) -> f64 {
         self.raw as f64 * self.format.ulp()
     }
+    // lint: allow-end(no-host-float)
 
     /// Exact sum: result carries one extra integer bit so it cannot
     /// overflow.
@@ -203,8 +219,9 @@ impl Fixed {
     /// Negation (saturating: the most negative value negates to max).
     #[must_use]
     pub fn saturating_neg(&self) -> Self {
-        Self::from_raw_with(-self.raw, self.format, OverflowMode::Saturate)
-            .expect("saturating conversion cannot fail")
+        // Saturate mode never reports overflow; keep the operand if it
+        // ever did rather than panic.
+        Self::from_raw_with(-self.raw, self.format, OverflowMode::Saturate).unwrap_or(*self)
     }
 
     /// Re-quantizes into `format`, rounding dropped fraction bits with

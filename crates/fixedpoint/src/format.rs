@@ -68,6 +68,15 @@ impl FixedFormat {
     /// while leaving `i128` room to hold any product of two operands.
     pub const MAX_BITS: u32 = 96;
 
+    /// Signed Q4.4 — the 8-bit fixed format of the paper's edge-inference
+    /// study, provided as a constant so callers need no fallible
+    /// constructor for it.
+    pub const Q4_4: Self = Self {
+        signed: true,
+        int_bits: 4,
+        frac_bits: 4,
+    };
+
     /// Creates a signed format with `int_bits` integer bits (sign included)
     /// and `frac_bits` fraction bits.
     ///
@@ -131,11 +140,14 @@ impl FixedFormat {
         self.int_bits + self.frac_bits
     }
 
+    // lint: allow-start(no-host-float): format *metadata* reported in f64
+    // for display and analysis; raw-integer arithmetic never calls these.
     /// The weight of one least-significant bit, `2^-frac_bits`.
     #[must_use]
     pub fn ulp(&self) -> f64 {
         (-(self.frac_bits as f64)).exp2()
     }
+    // lint: allow-end(no-host-float)
 
     /// Largest representable raw integer (in ulps).
     #[must_use]
@@ -157,6 +169,7 @@ impl FixedFormat {
         }
     }
 
+    // lint: allow-start(no-host-float): format metadata in f64, as above.
     /// Largest representable real value.
     #[must_use]
     pub fn max_value(&self) -> f64 {
@@ -168,6 +181,7 @@ impl FixedFormat {
     pub fn min_value(&self) -> f64 {
         self.min_raw() as f64 * self.ulp()
     }
+    // lint: allow-end(no-host-float)
 
     /// Checks whether `raw` (in ulps) is representable in this format.
     #[must_use]
@@ -216,6 +230,8 @@ impl FixedFormat {
     /// `-log10(ulp / |x|)` capped at the format's width, or the paper's
     /// Fig. 9 "triangular ramp". Returns `None` when `x` is outside the
     /// representable range (underflow-to-zero or overflow).
+    // lint: allow-start(no-host-float): accuracy measurement *about* the
+    // format (Fig. 9 ramp), not part of its arithmetic.
     #[must_use]
     pub fn decimal_accuracy_at(&self, x: f64) -> Option<f64> {
         let ax = x.abs();
@@ -225,6 +241,7 @@ impl FixedFormat {
         // Relative error of rounding to the nearest multiple of one ulp.
         Some(-(self.ulp() / 2.0 / ax).log10())
     }
+    // lint: allow-end(no-host-float)
 }
 
 impl fmt::Display for FixedFormat {

@@ -21,16 +21,13 @@ impl BinaryTable {
     /// Builds the table by evaluating `op` on all 65 536 input pairs.
     #[must_use]
     pub fn build(op: impl Fn(u8, u8) -> u8) -> Self {
-        let mut v = Vec::with_capacity(65536);
+        let mut entries = Box::new([0u8; 65536]);
         for a in 0..=255u8 {
             for b in 0..=255u8 {
-                v.push(op(a, b));
+                // lint: allow(no-panic): (a << 8) | b < 65536 by construction
+                entries[(usize::from(a) << 8) | usize::from(b)] = op(a, b);
             }
         }
-        let entries: Box<[u8; 65536]> = v
-            .into_boxed_slice()
-            .try_into()
-            .expect("exactly 65536 entries");
         Self { entries }
     }
 
@@ -40,6 +37,7 @@ impl BinaryTable {
     pub fn get(&self, a: u8, b: u8) -> u8 {
         // Indexing [u8; 65536] with (a << 8) | b is always in bounds, so
         // the bounds check compiles away.
+        // lint: allow(no-panic): (a << 8) | b < 65536 by construction
         self.entries[(usize::from(a) << 8) | usize::from(b)]
     }
 }
@@ -131,18 +129,15 @@ impl MacTable {
     /// Builds the table for `m`.
     #[must_use]
     pub fn build(m: ApproxMultiplier) -> Self {
-        let mut v = Vec::with_capacity(65536);
+        let mut entries = Box::new([0i32; 65536]);
         for w in 0..=255u8 {
-            let w = w as i8;
+            let wi = w as i8;
             for a in 0..=255u8 {
-                let p = i32::from(m.multiply(w.unsigned_abs(), a));
-                v.push(if w < 0 { -p } else { p });
+                let p = i32::from(m.multiply(wi.unsigned_abs(), a));
+                // lint: allow(no-panic): (w << 8) | a < 65536 by construction
+                entries[(usize::from(w) << 8) | usize::from(a)] = if wi < 0 { -p } else { p };
             }
         }
-        let entries: Box<[i32; 65536]> = v
-            .into_boxed_slice()
-            .try_into()
-            .expect("exactly 65536 entries");
         Self { entries }
     }
 
@@ -150,6 +145,7 @@ impl MacTable {
     #[inline(always)]
     #[must_use]
     pub fn mac(&self, w: i8, a: u8) -> i32 {
+        // lint: allow(no-panic): (w << 8) | a < 65536 by construction
         self.entries[(usize::from(w as u8) << 8) | usize::from(a)]
     }
 }

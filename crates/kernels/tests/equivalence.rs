@@ -6,7 +6,7 @@
 
 use nga_kernels::{
     add_table, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel,
-    mul_table, Format8, LutOp,
+    mul_table, Format8, Kernel, LutOp, ParallelKernel, ScalarKernel, TableKernel,
 };
 use proptest::prelude::*;
 
@@ -77,6 +77,36 @@ fn nar_is_absorbing_for_posit8_ops() {
         assert_eq!(op.add(0x80, b), 0x80, "NaR + {b:#04x}");
         assert_eq!(op.mul(b, 0x80), 0x80, "{b:#04x} × NaR");
         assert_eq!(op.add(b, 0x80), 0x80, "{b:#04x} + NaR");
+    }
+}
+
+#[test]
+fn kernel_trait_tiers_match_scalar_reference_on_every_format() {
+    // Every `impl Kernel` must be equivalent to the scalar reference on
+    // both domains — nga-lint's kernel-consistency rule checks that each
+    // tier is named here.
+    let tiers: [&dyn Kernel; 3] = [&ScalarKernel, &TableKernel, &ParallelKernel];
+    let (m, k, n) = (7, 9, 5);
+    let af: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.03 - 0.4).collect();
+    let bf: Vec<f32> = (0..k * n).map(|i| 0.7 - i as f32 * 0.02).collect();
+    // Deterministic byte inputs that include NaR/NaN/inf codes.
+    let a8: Vec<u8> = (0..m * k).map(|i| (i * 41 + 3) as u8).collect();
+    let b8: Vec<u8> = (0..k * n).map(|i| (i * 97 + 128) as u8).collect();
+    let mut f32_ref = vec![0.0f32; m * n];
+    tiers[0].matmul_f32(&af, &bf, &mut f32_ref, m, k, n);
+    for fmt in Format8::ALL {
+        let mut u8_ref = vec![0u8; m * n];
+        tiers[0].matmul8(fmt, &a8, &b8, &mut u8_ref, m, k, n);
+        for tier in &tiers[1..] {
+            let mut f = vec![0.0f32; m * n];
+            let mut u = vec![0u8; m * n];
+            tier.matmul_f32(&af, &bf, &mut f, m, k, n);
+            tier.matmul8(fmt, &a8, &b8, &mut u, m, k, n);
+            let refb: Vec<u32> = f32_ref.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u32> = f.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, refb, "{} f32 ≡ scalar", tier.name());
+            assert_eq!(u, u8_ref, "{} {} ≡ scalar", tier.name(), fmt.id());
+        }
     }
 }
 

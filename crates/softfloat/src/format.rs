@@ -239,6 +239,8 @@ impl FloatFormat {
         self.exp_bits + self.frac_bits
     }
 
+    // lint: allow-start(no-host-float): format *metadata* reported in f64
+    // for display and analysis; the bit-exact datapath never calls these.
     /// Largest finite value, `(2 - 2^-frac_bits) * 2^emax`.
     #[must_use]
     pub fn max_finite(&self) -> f64 {
@@ -263,6 +265,7 @@ impl FloatFormat {
     pub fn epsilon(&self) -> f64 {
         (-(self.frac_bits as f64)).exp2()
     }
+    // lint: allow-end(no-host-float)
 }
 
 impl fmt::Display for FloatFormat {

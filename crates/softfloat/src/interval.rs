@@ -110,14 +110,22 @@ impl Interval {
             self.hi.mul(rhs.lo.convert(ufmt)),
             self.hi.mul(rhs.hi.convert(ufmt)),
         ];
-        let lo = corners_lo
-            .into_iter()
-            .min_by(|a, b| a.to_f64().total_cmp(&b.to_f64()))
-            .expect("four corners");
-        let hi = corners_hi
-            .into_iter()
-            .max_by(|a, b| a.to_f64().total_cmp(&b.to_f64()))
-            .expect("four corners");
+        let [l0, l1, l2, l3] = corners_lo;
+        let lo = [l1, l2, l3].into_iter().fold(l0, |m, c| {
+            if c.to_f64().total_cmp(&m.to_f64()).is_lt() {
+                c
+            } else {
+                m
+            }
+        });
+        let [h0, h1, h2, h3] = corners_hi;
+        let hi = [h1, h2, h3].into_iter().fold(h0, |m, c| {
+            if c.to_f64().total_cmp(&m.to_f64()).is_gt() {
+                c
+            } else {
+                m
+            }
+        });
         Self { lo, hi }
     }
 }

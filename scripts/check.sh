@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
-# Tier-1 gate: release build, full test suite, clippy clean.
+# Tier-1 gate: release build, full test suite, invariant lint, clippy clean.
 # Usage: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Workspace invariants (bit-exactness, panic-freedom, LUT/kernel
+# consistency): fails on any finding and refreshes LINT_REPORT.json.
+cargo run -q --release -p nga-lint -- --json
 cargo clippy --workspace -- -D warnings

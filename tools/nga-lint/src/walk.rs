@@ -1,0 +1,47 @@
+//! Workspace traversal: every `.rs` file under the root, as sorted
+//! workspace-relative paths with `/` separators.
+
+use std::path::Path;
+
+/// Directory names never worth descending into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Collects workspace-relative paths of all `.rs` files under `root`,
+/// skipping build output and anything matched by `excluded`.
+pub fn rs_files(root: &Path, excluded: &dyn Fn(&str) -> bool) -> Vec<String> {
+    let mut out = Vec::new();
+    walk(root, "", excluded, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(root: &Path, rel: &str, excluded: &dyn Fn(&str) -> bool, out: &mut Vec<String>) {
+    let dir = if rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let child = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if excluded(&child) {
+            continue;
+        }
+        let path = entry.path();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &child, excluded, out);
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: ambient environment and clock reads.
+
+pub fn seeded() -> bool {
+    std::env::var("FIXTURE_SEED").is_ok()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

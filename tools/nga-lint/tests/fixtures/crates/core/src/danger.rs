@@ -1,0 +1,5 @@
+//! Fixture: an unsafe block.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

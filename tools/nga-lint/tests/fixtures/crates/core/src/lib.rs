@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture crate root carrying the required attribute.
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,31 @@
+//! Fixture: panic paths in library code.
+
+pub fn hidden_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn loud_expect(v: Result<u8, u8>) -> u8 {
+    v.expect("fixture")
+}
+
+pub fn computed_index(v: &[u8], i: usize) -> u8 {
+    v[i * 2 + 1]
+}
+
+pub fn waived(v: Option<u8>) -> u8 {
+    // lint: allow(no-panic): fixture-sanctioned, reason present
+    v.unwrap()
+}
+
+pub fn badly_waived(v: Option<u8>) -> u8 {
+    // lint: allow(no-panic)
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a 2-bit code enum.
+
+pub enum Format8 {
+    A = 0,
+    B = 1,
+}
+
+impl Format8 {
+    pub const ALL: [Self; 2] = [Self::A, Self::B];
+}

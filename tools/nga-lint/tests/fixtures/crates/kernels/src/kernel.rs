@@ -1,0 +1,25 @@
+//! Fixture: one registered kernel tier and one rogue tier.
+
+pub trait Kernel {
+    fn name(&self) -> &'static str;
+}
+
+pub struct GoodKernel;
+
+impl Kernel for GoodKernel {
+    fn name(&self) -> &'static str {
+        "good"
+    }
+}
+
+pub struct RogueKernel;
+
+impl Kernel for RogueKernel {
+    fn name(&self) -> &'static str {
+        "rogue"
+    }
+}
+
+pub fn default_kernel() -> &'static dyn Kernel {
+    &GoodKernel
+}

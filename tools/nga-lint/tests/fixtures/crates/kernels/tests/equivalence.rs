@@ -1,0 +1,6 @@
+//! Fixture equivalence suite: exercises GoodKernel only.
+
+#[test]
+fn good_kernel_is_exercised() {
+    let _ = GoodKernel;
+}

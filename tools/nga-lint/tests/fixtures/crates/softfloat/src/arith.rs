@@ -1,0 +1,6 @@
+//! Fixture: a host-float leak inside a bit-exact core.
+
+pub fn leaky_mul(a: u64, b: u64) -> u64 {
+    let x = a as f64 * b as f64;
+    (x * 1.5) as u64
+}

@@ -1,0 +1,4 @@
+//! Fixture crate root that is *missing* `#![forbid(unsafe_code)]`.
+
+pub mod arith;
+pub mod value;

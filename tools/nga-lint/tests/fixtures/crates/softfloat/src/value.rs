@@ -1,0 +1,5 @@
+//! Fixture: an allowlisted conversion module — floats here are fine.
+
+pub fn to_host(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
