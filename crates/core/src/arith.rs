@@ -330,58 +330,34 @@ mod tests {
         assert_eq!(got.bits(), want.bits());
     }
 
-    /// Reference rounding oracle implementing the standard posit rounding
-    /// *independently* of `from_parts`: binary-search the monotone positive
-    /// encoding ring for the bracketing posits, then compare the exact
-    /// value against the **encoding midpoint** — the (n+1)-bit posit that
-    /// refines the gap (the standard rounds on the bit-string expansion, so
-    /// midpoints at regime boundaries are geometric-ish, not arithmetic).
+    /// Reference rounding oracle: delegates to `nga-oracle`'s
+    /// exact-arithmetic posit rounder (encoding-midpoint comparison in a
+    /// precomputed table, structurally independent of `from_parts`).
     /// Ties go to the even encoding; nonzero never rounds to zero and
-    /// nothing rounds to NaR. Valid for posit8/16, whose values and
-    /// midpoints are exact in f64.
+    /// nothing rounds to NaR. The oracle tables are cached per format
+    /// because building one walks the whole positive encoding ring.
     fn nearest_posit(v: f64, fmt: PositFormat) -> Posit {
+        use nga_oracle::{float::host::nearest_posit_f64, PositOracle, PositSpec};
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
         assert!(v.is_finite());
-        if v == 0.0 {
-            return Posit::zero(fmt);
-        }
-        let negative = v < 0.0;
-        let v = v.abs();
-        let max_mag = fmt.nar_bits() - 1;
-        let signed = |p: Posit| if negative { p.neg() } else { p };
-        if v >= Posit::maxpos(fmt).to_f64() {
-            return signed(Posit::maxpos(fmt));
-        }
-        if v <= Posit::minpos(fmt).to_f64() {
-            return signed(Posit::minpos(fmt));
-        }
-        // First positive magnitude whose value is >= v.
-        let (mut lo, mut hi) = (1u64, max_mag);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if Posit::from_bits(mid, fmt).to_f64() < v {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        let above = Posit::from_bits(lo, fmt);
-        if above.to_f64() == v {
-            return signed(above);
-        }
-        let below = Posit::from_bits(lo - 1, fmt);
-        // Encoding midpoint: the (n+1)-bit posit refining this gap.
-        let wide = PositFormat::new(fmt.n() + 1, fmt.es());
-        let mid = Posit::from_bits((below.bits() << 1) | 1, wide).to_f64();
-        let nearest = if v < mid {
-            below
-        } else if v > mid {
-            above
-        } else if below.bits() & 1 == 0 {
-            below
-        } else {
-            above
-        };
-        signed(nearest)
+        static ORACLES: OnceLock<Mutex<HashMap<(u32, u32), &'static PositOracle>>> =
+            OnceLock::new();
+        let cache = ORACLES.get_or_init(|| Mutex::new(HashMap::new()));
+        let oracle = *cache
+            .lock()
+            .unwrap()
+            .entry((fmt.n(), fmt.es()))
+            .or_insert_with(|| {
+                // Constructed from raw widths: the dev-dep cycle gives the
+                // oracle its own copy of this crate's format type.
+                let spec = PositSpec {
+                    n: fmt.n(),
+                    es: fmt.es(),
+                };
+                Box::leak(Box::new(PositOracle::new(spec)))
+            });
+        Posit::from_bits(nearest_posit_f64(v, oracle), fmt)
     }
 
     #[test]

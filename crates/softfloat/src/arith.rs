@@ -6,6 +6,7 @@
 //! follow IEEE 754-2008 §6 and §7.
 
 use crate::flags::Flags;
+use crate::format::{FloatFormat, Rounding};
 use crate::round::{round_pack, shift_right_sticky};
 use crate::value::SoftFloat;
 use crate::FloatClass;
@@ -18,6 +19,14 @@ pub(crate) type WithFlags = (SoftFloat, Flags);
 // (they panic on mismatch) and the flag-returning variants are primary.
 #[allow(clippy::should_implement_trait)]
 impl SoftFloat {
+    /// The zero returned for an exact cancellation `x + (-x)`, `x != 0`:
+    /// +0 in every rounding attribute except roundTowardNegative (-0),
+    /// per IEEE 754-2008 §6.3.
+    fn cancellation_zero(fmt: FloatFormat) -> Self {
+        let sign = fmt.rounding() == Rounding::TowardNegative;
+        Self::from_bits(u64::from(sign) << fmt.sign_shift(), fmt)
+    }
+
     /// Addition with round-to-nearest-even, returning exception flags.
     ///
     /// # Panics
@@ -44,8 +53,13 @@ impl SoftFloat {
             _ => {}
         }
         if a.is_zero() && b.is_zero() {
-            // +0 + -0 = +0 under RNE; equal signs keep the sign.
-            let sign = a.sign() && b.sign();
+            // IEEE 754 §6.3: equal signs keep the sign; opposite signs give
+            // +0, except roundTowardNegative where the zero sum is -0.
+            let sign = if a.sign() == b.sign() {
+                a.sign()
+            } else {
+                fmt.rounding() == Rounding::TowardNegative
+            };
             return (
                 Self::from_bits(u64::from(sign) << fmt.sign_shift(), fmt),
                 Flags::NONE,
@@ -80,8 +94,9 @@ impl SoftFloat {
         };
         let sum = va + vb;
         if sum == 0 {
-            // Exact cancellation: +0 under round-to-nearest.
-            return (Self::zero(fmt), Flags::NONE);
+            // IEEE 754 §6.3: exact cancellation x + (-x) is +0 in every
+            // attribute except roundTowardNegative, where it is -0.
+            return (Self::cancellation_zero(fmt), Flags::NONE);
         }
         let sign = sum < 0;
         let out = round_pack(sign, sum.unsigned_abs(), exp, fmt);
@@ -358,7 +373,9 @@ impl SoftFloat {
             };
             let sum = a + b;
             if sum == 0 {
-                return (Self::zero(fmt), Flags::NONE);
+                // Same §6.3 rule as addition: exact cancellation takes the
+                // attribute-dependent zero sign.
+                return (Self::cancellation_zero(fmt), Flags::NONE);
             }
             sum_sign = sum < 0;
             sum_sig = sum.unsigned_abs();

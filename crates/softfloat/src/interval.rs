@@ -24,6 +24,29 @@ pub struct Interval {
     hi: SoftFloat,
 }
 
+/// Clamps a bound that came out NaN (e.g. `∞ + (−∞)` between an infinite
+/// point and an overflowed bound) to the enclosure-safe directed infinity.
+/// Bounds of a valid interval are never NaN.
+fn safe_bound(x: SoftFloat, lower: bool) -> SoftFloat {
+    if x.is_nan() {
+        SoftFloat::infinity(lower, x.format())
+    } else {
+        x
+    }
+}
+
+/// A corner product for the interval multiply. `0 × ∞` at a corner is the
+/// limit of `0 × finite`, i.e. a (signed) zero — returning the IEEE NaN
+/// here would poison the min/max bound selection.
+fn corner_mul(a: SoftFloat, b: SoftFloat) -> SoftFloat {
+    if (a.is_zero() && b.is_infinite()) || (a.is_infinite() && b.is_zero()) {
+        let fmt = a.format();
+        SoftFloat::from_bits(u64::from(a.sign() ^ b.sign()) << fmt.sign_shift(), fmt)
+    } else {
+        a.mul(b)
+    }
+}
+
 impl Interval {
     /// The degenerate interval `[x, x]` from an exactly representable
     /// value.
@@ -76,8 +99,8 @@ impl Interval {
     #[must_use]
     pub fn add(&self, rhs: &Self) -> Self {
         Self {
-            lo: self.lo.add(rhs.lo),
-            hi: self.hi.add(rhs.hi),
+            lo: safe_bound(self.lo.add(rhs.lo), true),
+            hi: safe_bound(self.hi.add(rhs.hi), false),
         }
     }
 
@@ -85,8 +108,8 @@ impl Interval {
     #[must_use]
     pub fn sub(&self, rhs: &Self) -> Self {
         Self {
-            lo: self.lo.sub(rhs.hi.convert(self.lo.format())),
-            hi: self.hi.sub(rhs.lo.convert(self.hi.format())),
+            lo: safe_bound(self.lo.sub(rhs.hi.convert(self.lo.format())), true),
+            hi: safe_bound(self.hi.sub(rhs.lo.convert(self.hi.format())), false),
         }
     }
 
@@ -97,18 +120,19 @@ impl Interval {
     pub fn mul(&self, rhs: &Self) -> Self {
         let dfmt = self.lo.format();
         let ufmt = self.hi.format();
-        // Corner products under both roundings.
+        // Corner products under both roundings (`corner_mul` keeps `0 × ∞`
+        // corners as signed zeros so min/max selection stays NaN-free).
         let corners_lo = [
-            self.lo.mul(rhs.lo.convert(dfmt)),
-            self.lo.mul(rhs.hi.convert(dfmt)),
-            self.hi.convert(dfmt).mul(rhs.lo.convert(dfmt)),
-            self.hi.convert(dfmt).mul(rhs.hi.convert(dfmt)),
+            corner_mul(self.lo, rhs.lo.convert(dfmt)),
+            corner_mul(self.lo, rhs.hi.convert(dfmt)),
+            corner_mul(self.hi.convert(dfmt), rhs.lo.convert(dfmt)),
+            corner_mul(self.hi.convert(dfmt), rhs.hi.convert(dfmt)),
         ];
         let corners_hi = [
-            self.lo.convert(ufmt).mul(rhs.lo.convert(ufmt)),
-            self.lo.convert(ufmt).mul(rhs.hi.convert(ufmt)),
-            self.hi.mul(rhs.lo.convert(ufmt)),
-            self.hi.mul(rhs.hi.convert(ufmt)),
+            corner_mul(self.lo.convert(ufmt), rhs.lo.convert(ufmt)),
+            corner_mul(self.lo.convert(ufmt), rhs.hi.convert(ufmt)),
+            corner_mul(self.hi, rhs.lo.convert(ufmt)),
+            corner_mul(self.hi, rhs.hi.convert(ufmt)),
         ];
         let [l0, l1, l2, l3] = corners_lo;
         let lo = [l1, l2, l3].into_iter().fold(l0, |m, c| {
@@ -126,7 +150,10 @@ impl Interval {
                 m
             }
         });
-        Self { lo, hi }
+        Self {
+            lo: safe_bound(lo, true),
+            hi: safe_bound(hi, false),
+        }
     }
 }
 

@@ -243,4 +243,72 @@ mod tests {
         assert_eq!(out.bits, 0x0000);
         assert!(out.flags.contains(Flags::UNDERFLOW));
     }
+
+    fn dir(mode: Rounding) -> FloatFormat {
+        F16.with_rounding(mode)
+    }
+
+    #[test]
+    fn directed_overflow_per_mode() {
+        // IEEE 754 §7.4: overflow goes to infinity only in the modes whose
+        // direction agrees; otherwise to the signed max finite (0x7BFF).
+        for (mode, pos, neg) in [
+            (Rounding::NearestEven, 0x7C00, 0xFC00),
+            (Rounding::NearestAway, 0x7C00, 0xFC00),
+            (Rounding::TowardZero, 0x7BFF, 0xFBFF),
+            (Rounding::TowardPositive, 0x7C00, 0xFBFF),
+            (Rounding::TowardNegative, 0x7BFF, 0xFC00),
+        ] {
+            let out = round_pack(false, 1, 17, dir(mode));
+            assert_eq!(out.bits, pos, "positive overflow under {mode:?}");
+            assert!(out.flags.contains(Flags::OVERFLOW | Flags::INEXACT));
+            let out = round_pack(true, 1, 17, dir(mode));
+            assert_eq!(out.bits, neg, "negative overflow under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn directed_subnormal_normal_boundary() {
+        // Largest subnormal (0x03FF) plus a sliver: the directed modes must
+        // disagree about crossing into the normal range (0x0400).
+        let sliver_up = (2047u128 << 30) + 1; // (1023.5 + ε) quanta at 2^-55
+        for (mode, bits) in [
+            (Rounding::NearestEven, 0x0400u64),
+            (Rounding::NearestAway, 0x0400),
+            (Rounding::TowardZero, 0x03FF),
+            (Rounding::TowardPositive, 0x0400),
+            (Rounding::TowardNegative, 0x03FF),
+        ] {
+            let out = round_pack(false, sliver_up, -55, dir(mode));
+            assert_eq!(out.bits, bits, "boundary crossing under {mode:?}");
+        }
+        // The same magnitude negated flips the directed answers.
+        let out = round_pack(true, sliver_up, -55, dir(Rounding::TowardPositive));
+        assert_eq!(out.bits, 0x83FF);
+        let out = round_pack(true, sliver_up, -55, dir(Rounding::TowardNegative));
+        assert_eq!(out.bits, 0x8400);
+    }
+
+    #[test]
+    fn ties_away_differs_from_ties_even_below_the_boundary() {
+        // 1022.5 subnormal quanta: tie between 0x03FE (even) and 0x03FF.
+        let out = round_pack(false, 2045, -25, dir(Rounding::NearestEven));
+        assert_eq!(out.bits, 0x03FE);
+        let out = round_pack(false, 2045, -25, dir(Rounding::NearestAway));
+        assert_eq!(out.bits, 0x03FF);
+    }
+
+    #[test]
+    fn directed_underflow_never_rounds_a_nonzero_to_the_wrong_side() {
+        // A tiny positive value: RTP must produce the smallest subnormal,
+        // RTN/RTZ must produce +0 (keeping the sign).
+        let out = round_pack(false, 1, -80, dir(Rounding::TowardPositive));
+        assert_eq!(out.bits, 0x0001);
+        let out = round_pack(false, 1, -80, dir(Rounding::TowardNegative));
+        assert_eq!(out.bits, 0x0000);
+        let out = round_pack(true, 1, -80, dir(Rounding::TowardNegative));
+        assert_eq!(out.bits, 0x8001);
+        let out = round_pack(true, 1, -80, dir(Rounding::TowardPositive));
+        assert_eq!(out.bits, 0x8000, "negative sliver keeps its sign as -0");
+    }
 }

@@ -1,0 +1,73 @@
+//! Oracle-driven containment tests for interval arithmetic: every
+//! interval op must return an enclosure of the exact real result, with
+//! the exactness check delegated to `nga-oracle`'s exact-arithmetic
+//! comparator rather than host-float approximation.
+
+use nga_oracle::float::host::{biased_f64_bits, interval_case_bits};
+use nga_softfloat::{FloatFormat, Interval};
+use proptest::prelude::*;
+
+const F16: FloatFormat = FloatFormat::BINARY16;
+
+proptest! {
+    #[test]
+    fn ops_enclose_the_exact_result(
+        x in any::<u32>(), y in any::<u32>(), z in any::<u32>(), w in any::<u32>()
+    ) {
+        // Widen the 32-bit seeds into the oracle's boundary-biased f64
+        // stratification (zeros, infinities, binary16-edge exponents).
+        let a = biased_f64_bits(
+            (u64::from(x) << 32) | u64::from(w), (u64::from(y) << 16) | u64::from(z),
+        );
+        let b = biased_f64_bits(
+            (u64::from(z) << 32) | u64::from(y), (u64::from(w) << 16) | u64::from(x),
+        );
+        for op in 0..3u32 {
+            prop_assert!(
+                interval_case_bits(a, b, op, F16),
+                "op {} broke enclosure for {:#x}, {:#x}", op, a, b
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_zero_is_a_valid_lower_bound() {
+    // The downward-rounded bound of x + (-x) is -0 (IEEE §6.3 under
+    // roundTowardNegative); the enclosure must still contain exact 0.
+    let x = Interval::from_f64(1.5, F16);
+    let y = Interval::from_f64(-1.5, F16);
+    let s = x.add(&y);
+    assert!(s.contains(0.0), "{s}");
+    assert!(s.lo().is_zero() && s.lo().sign(), "lower bound is -0");
+    assert!(s.hi().is_zero() && !s.hi().sign(), "upper bound is +0");
+}
+
+#[test]
+fn infinite_point_plus_overflowing_interval_keeps_real_bounds() {
+    // -inf + [65504, +inf] used to produce a NaN upper bound (the upper
+    // corner evaluates -inf + +inf).
+    let a = Interval::from_f64(f64::NEG_INFINITY, F16);
+    let b = Interval::from_f64(131072.0, F16); // overflows binary16 upward
+    let s = a.add(&b);
+    assert!(!s.lo().is_nan() && !s.hi().is_nan(), "{s}");
+    assert!(s.contains(f64::NEG_INFINITY));
+    let d = a.sub(&b);
+    assert!(!d.lo().is_nan() && !d.hi().is_nan(), "{d}");
+    assert!(d.contains(f64::NEG_INFINITY));
+}
+
+#[test]
+fn zero_times_unbounded_interval_is_zero() {
+    // [0,0] x [65504, +inf] used to pick the NaN corner 0 * inf as its
+    // upper bound (NaN sorts greatest in the total order).
+    let z = Interval::from_f64(0.0, F16);
+    let big = Interval::from_f64(131072.0, F16);
+    let p = z.mul(&big);
+    assert!(p.contains(0.0), "{p}");
+    assert!(p.lo().is_zero() && p.hi().is_zero(), "{p}");
+    let neg_big = Interval::from_f64(-131072.0, F16);
+    let q = neg_big.mul(&z);
+    assert!(q.contains(0.0), "{q}");
+    assert!(!q.lo().is_nan() && !q.hi().is_nan(), "{q}");
+}

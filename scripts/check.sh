@@ -9,4 +9,10 @@ cargo test -q
 # Workspace invariants (bit-exactness, panic-freedom, LUT/kernel
 # consistency): fails on any finding and refreshes LINT_REPORT.json.
 cargo run -q --release -p nga-lint -- --json
+# Differential oracle quick sweep (~50M cases): fails on any mismatch
+# between the datapaths and the exact-arithmetic reference, and
+# refreshes ORACLE_REPORT.quick.json. The exhaustive sweep (run
+# `nga-oracle --json` without --quick, ~2^33 cases) maintains
+# ORACLE_REPORT.json.
+cargo run -q --release -p nga-oracle -- --quick --json --quiet
 cargo clippy --workspace -- -D warnings

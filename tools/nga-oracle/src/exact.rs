@@ -1,0 +1,313 @@
+//! Exact binary real arithmetic on sign/significand/exponent triples.
+//!
+//! An [`Exact`] represents a nonzero real magnitude τ as
+//!
+//! ```text
+//! sig · 2^exp  ≤  τ  <  (sig + 1) · 2^exp        (sig > 0)
+//! ```
+//!
+//! with `τ = sig · 2^exp` exactly iff `sticky` is false. Decoded format
+//! values and products are always exact; quotients and square roots carry
+//! their remainder as the sticky marker on a result widened to ~60
+//! significant bits — far more than the `2p + 3` bits needed to separate
+//! any quotient/root of ≤ 29-bit operands from the nearest rounding
+//! boundary of a ≤ 28-bit destination, so downstream rounding decisions
+//! (including tie detection, which requires `!sticky`) are always exact.
+//!
+//! Zero results are signalled as `None` by [`Exact::add`] so the format
+//! oracles can apply their own signed-zero rules; `Exact` itself never
+//! holds zero.
+
+/// A nonzero real magnitude with sign, known exactly or to within one
+/// unit in the last place (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exact {
+    /// Sign (true = negative).
+    pub sign: bool,
+    /// Integer significand, `> 0` (or 0 only transiently with `sticky`).
+    pub sig: u128,
+    /// Binary exponent scaling `sig`.
+    pub exp: i32,
+    /// True if the represented value lies strictly above `sig · 2^exp`.
+    pub sticky: bool,
+}
+
+/// Bit length of a significand (0 for 0).
+#[inline]
+#[must_use]
+pub fn bitlen(sig: u128) -> u32 {
+    128 - sig.leading_zeros()
+}
+
+/// Widest intermediate the exact add path keeps before falling back to
+/// sticky compression. Chosen so that every aligned significand (≤ 107
+/// bits for the widest fma product) still leaves ≥ 13 bits of headroom
+/// between the compressed tail and any rounding boundary.
+const ADD_WINDOW: i32 = 120;
+
+impl Exact {
+    /// An exact value `(-1)^sign · sig · 2^exp`; `sig` must be nonzero.
+    #[must_use]
+    pub fn new(sign: bool, sig: u128, exp: i32) -> Self {
+        debug_assert!(sig != 0, "Exact cannot represent zero");
+        Self {
+            sign,
+            sig,
+            exp,
+            sticky: false,
+        }
+    }
+
+    /// Exclusive top exponent: the represented magnitude is `< 2^top` and
+    /// `≥ 2^(top-1)`.
+    #[inline]
+    #[must_use]
+    pub fn top(&self) -> i32 {
+        self.exp + bitlen(self.sig) as i32
+    }
+
+    /// Exact product. Both operands must be exact and the significand
+    /// widths must fit in 128 bits (true for every decoded format pair in
+    /// this workspace).
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        debug_assert!(!self.sticky && !rhs.sticky, "mul needs exact inputs");
+        debug_assert!(bitlen(self.sig) + bitlen(rhs.sig) <= 128);
+        Self {
+            sign: self.sign ^ rhs.sign,
+            sig: self.sig.wrapping_mul(rhs.sig),
+            exp: self.exp.wrapping_add(rhs.exp),
+            sticky: false,
+        }
+    }
+
+    /// Exact signed sum. Returns `None` on exact cancellation to zero so
+    /// the caller can apply its format's signed-zero rule.
+    ///
+    /// When the operands' binary ranges span more than [`ADD_WINDOW`]
+    /// bits, the far-below tail is compressed into the sticky marker; the
+    /// result then keeps ≥ `ADD_WINDOW - 8` significant bits above the
+    /// marker, so this never disturbs a rounding decision (see module
+    /// docs).
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Option<Self> {
+        debug_assert!(!self.sticky && !rhs.sticky, "add needs exact inputs");
+        let top = self.top().max(rhs.top());
+        let mut base = self.exp.min(rhs.exp);
+        if top - base > ADD_WINDOW {
+            base = top - ADD_WINDOW;
+        }
+        let (ma, sa) = align(self.sig, self.exp, base);
+        let (mb, sb) = align(rhs.sig, rhs.exp, base);
+        debug_assert!(!(sa && sb), "at most one operand can lose bits");
+        let (sign, sig, sticky) = if self.sign == rhs.sign {
+            (self.sign, ma + mb, sa || sb)
+        } else if sa {
+            // τa ∈ (ma, ma+1) ulps at `base`; rhs is exactly mb ulps.
+            if ma >= mb {
+                (self.sign, ma - mb, true)
+            } else {
+                (rhs.sign, mb - ma - 1, true)
+            }
+        } else if sb {
+            if mb >= ma {
+                (rhs.sign, mb - ma, true)
+            } else {
+                (self.sign, ma - mb - 1, true)
+            }
+        } else {
+            match ma.cmp(&mb) {
+                std::cmp::Ordering::Equal => return None,
+                std::cmp::Ordering::Greater => (self.sign, ma - mb, false),
+                std::cmp::Ordering::Less => (rhs.sign, mb - ma, false),
+            }
+        };
+        debug_assert!(sig != 0 || !sticky, "sticky cancellation cannot occur");
+        if sig == 0 && !sticky {
+            return None;
+        }
+        Some(Self {
+            sign,
+            sig,
+            exp: base,
+            sticky,
+        })
+    }
+
+    /// Quotient `self / rhs` widened to at least 60 significant bits,
+    /// with any nonzero remainder recorded as sticky.
+    #[must_use]
+    pub fn div(&self, rhs: &Self) -> Self {
+        debug_assert!(!self.sticky && !rhs.sticky, "div needs exact inputs");
+        debug_assert!(rhs.sig != 0);
+        let k = 60 + bitlen(rhs.sig);
+        debug_assert!(bitlen(self.sig) + k <= 127, "operands too wide for div");
+        let num = self.sig << k;
+        let q = num / rhs.sig;
+        let r = num % rhs.sig;
+        Self {
+            sign: self.sign ^ rhs.sign,
+            sig: q,
+            exp: self.exp - rhs.exp - k as i32,
+            sticky: r != 0,
+        }
+    }
+
+    /// Square root of the magnitude, widened to ≥ 60 significant bits,
+    /// with inexactness recorded as sticky. The operand's sign must be
+    /// positive (the caller handles negative inputs).
+    #[must_use]
+    pub fn sqrt(&self) -> Self {
+        debug_assert!(!self.sign && !self.sticky, "sqrt needs an exact magnitude");
+        let (mut sig, mut exp) = (self.sig, self.exp);
+        if exp & 1 != 0 {
+            sig <<= 1;
+            exp -= 1;
+        }
+        // Widen by 2t bits so the integer root has (bitlen + 2t) / 2
+        // significant bits; t is capped so the shift stays in u128.
+        let t = (126 - bitlen(sig)) / 2;
+        let wide = sig << (2 * t);
+        let root = wide.isqrt();
+        Self {
+            sign: false,
+            sig: root,
+            exp: exp / 2 - t as i32,
+            sticky: root * root != wide,
+        }
+    }
+
+    /// Compares this magnitude against the *exact* magnitude
+    /// `osig · 2^oexp` (`osig > 0`). Valid even when `self` is sticky:
+    /// strict orderings are always decidable, and a sticky value can
+    /// never equal an exact one, so `Equal` is returned only for true
+    /// exact equality.
+    #[must_use]
+    pub fn cmp_mag(&self, osig: u128, oexp: i32) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        debug_assert!(osig != 0);
+        if self.sig == 0 {
+            // Transient sticky-zero: magnitude in (0, 2^exp); strictly
+            // positive but below any exact value of top > exp.
+            return if oexp + bitlen(osig) as i32 > self.exp {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+        }
+        let ta = self.top();
+        let tb = oexp + bitlen(osig) as i32;
+        match ta.cmp(&tb) {
+            Ordering::Less => return Ordering::Less,
+            Ordering::Greater => return Ordering::Greater,
+            Ordering::Equal => {}
+        }
+        // Equal tops: aligned widths are both exactly `ta - base` ≤ 128
+        // bits, so the shifts below cannot overflow.
+        let base = self.exp.min(oexp);
+        let sa = self.sig << (self.exp - base) as u32;
+        let sb = osig << (oexp - base) as u32;
+        match sa.cmp(&sb) {
+            Ordering::Equal if self.sticky => Ordering::Greater,
+            ord => ord,
+        }
+    }
+}
+
+/// Aligns `sig · 2^exp` to ulp weight `2^base`, compressing any dropped
+/// low bits into the returned sticky flag. Left shifts (finer base) are
+/// always exact and guaranteed to fit by the caller's window choice.
+fn align(sig: u128, exp: i32, base: i32) -> (u128, bool) {
+    if exp >= base {
+        (sig << (exp - base) as u32, false)
+    } else {
+        let s = (base - exp) as u32;
+        if s >= 128 {
+            (0, sig != 0)
+        } else {
+            (sig >> s, sig & ((1u128 << s) - 1) != 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn exact_add_and_cancel() {
+        let a = Exact::new(false, 3, 0); // 3
+        let b = Exact::new(false, 1, 1); // 2
+        let s = a.add(&b).expect("nonzero");
+        assert_eq!((s.sign, s.sig << s.exp, s.sticky), (false, 5, false));
+        let n = a.add(&Exact::new(true, 3, 0));
+        assert!(n.is_none(), "3 - 3 cancels exactly");
+        let d = a.add(&Exact::new(true, 1, 2)); // 3 - 4 = -1
+        let d = d.expect("nonzero");
+        assert!(d.sign && d.sig << d.exp == 1 && !d.sticky);
+    }
+
+    #[test]
+    fn far_add_sets_sticky_below_the_window() {
+        // 1 + 2^-200: tail falls below the 120-bit window.
+        let a = Exact::new(false, 1, 0);
+        let b = Exact::new(false, 1, -200);
+        let s = a.add(&b).expect("nonzero");
+        assert!(s.sticky, "tail compressed to sticky");
+        // Magnitude still strictly between 1 and 1 + 2^-119.
+        assert_eq!(s.cmp_mag(1, 0), Ordering::Greater);
+        assert_eq!(s.cmp_mag(1 << 20 | 1, -20), Ordering::Less);
+        // Subtraction just below: 1 - 2^-200 ∈ (1 - 2^-119, 1).
+        let d = a.add(&Exact::new(true, 1, -200)).expect("nonzero");
+        assert!(d.sticky && !d.sign);
+        assert_eq!(d.cmp_mag(1, 0), Ordering::Less);
+    }
+
+    #[test]
+    fn mul_is_exact() {
+        let a = Exact::new(true, 5, -2); // -1.25
+        let b = Exact::new(false, 3, 1); // 6
+        let p = a.mul(&b);
+        assert_eq!((p.sign, p.sig, p.exp, p.sticky), (true, 15, -1, false));
+    }
+
+    #[test]
+    fn div_carries_remainder() {
+        let a = Exact::new(false, 1, 0);
+        let b = Exact::new(false, 3, 0);
+        let q = a.div(&b);
+        assert!(q.sticky, "1/3 is inexact");
+        assert!(bitlen(q.sig) >= 60);
+        // 1/3 < 0.5 and > 0.25
+        assert_eq!(q.cmp_mag(1, -1), Ordering::Less);
+        assert_eq!(q.cmp_mag(1, -2), Ordering::Greater);
+        let e = Exact::new(false, 6, 0).div(&Exact::new(false, 3, 0));
+        assert!(!e.sticky, "6/3 is exact");
+        assert_eq!(e.cmp_mag(2, 0), Ordering::Equal);
+    }
+
+    #[test]
+    fn sqrt_exact_and_inexact() {
+        let four = Exact::new(false, 1, 2);
+        let r = four.sqrt();
+        assert!(!r.sticky);
+        assert_eq!(r.cmp_mag(2, 0), Ordering::Equal);
+        let two = Exact::new(false, 2, 0);
+        let s = two.sqrt();
+        assert!(s.sticky, "sqrt(2) is irrational");
+        assert!(bitlen(s.sig) >= 60);
+        // 1.414... ∈ (1.25, 1.5)
+        assert_eq!(s.cmp_mag(3, -1), Ordering::Less);
+        assert_eq!(s.cmp_mag(5, -2), Ordering::Greater);
+    }
+
+    #[test]
+    fn cmp_handles_unequal_tops_with_sticky() {
+        let mut v = Exact::new(false, 1, 0);
+        v.sticky = true; // value in (1, 2)
+        assert_eq!(v.cmp_mag(1, 1), Ordering::Less, "τ < 2");
+        assert_eq!(v.cmp_mag(1, 0), Ordering::Greater, "τ > 1");
+        assert_eq!(v.cmp_mag(3, -1), v.cmp_mag(3, -1), "deterministic");
+    }
+}

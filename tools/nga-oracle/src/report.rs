@@ -1,0 +1,140 @@
+//! Deterministic JSON serialisation of a sweep run.
+//!
+//! The output contains no timestamps, thread counts or host details, so
+//! re-running the same sweep on any machine reproduces the committed
+//! `ORACLE_REPORT.json` byte for byte.
+
+/// One (possibly minimized) counterexample.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Example {
+    /// Raw operand encodings as first observed.
+    pub inputs: Vec<u64>,
+    /// Operands after greedy bit-clearing minimization.
+    pub minimized: Vec<u64>,
+    /// Implementation result for the minimized operands.
+    pub got: u64,
+    /// Oracle result for the minimized operands.
+    pub want: u64,
+}
+
+/// Per-task sweep totals.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Hierarchical task name, e.g. `exh16/binary16/add@rne`.
+    pub name: String,
+    /// Cases evaluated.
+    pub cases: u64,
+    /// Cases where the implementation and the oracle disagreed.
+    pub mismatches: u64,
+    /// Up to a handful of minimized counterexamples.
+    pub examples: Vec<Example>,
+}
+
+/// A whole sweep run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Per-task results, in deterministic task order.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl Report {
+    /// Total cases across all tasks.
+    #[must_use]
+    pub fn total_cases(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cases).sum()
+    }
+
+    /// Total mismatches across all tasks.
+    #[must_use]
+    pub fn total_mismatches(&self) -> u64 {
+        self.tasks.iter().map(|t| t.mismatches).sum()
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"nga-oracle\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"total_cases\": {},\n", self.total_cases()));
+        s.push_str(&format!(
+            "  \"total_mismatches\": {},\n",
+            self.total_mismatches()
+        ));
+        s.push_str("  \"tasks\": [\n");
+        for (i, t) in self.tasks.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", t.name));
+            s.push_str(&format!("      \"cases\": {},\n", t.cases));
+            s.push_str(&format!("      \"mismatches\": {},\n", t.mismatches));
+            if t.examples.is_empty() {
+                s.push_str("      \"examples\": []\n");
+            } else {
+                s.push_str("      \"examples\": [\n");
+                for (j, e) in t.examples.iter().enumerate() {
+                    s.push_str("        {");
+                    s.push_str(&format!(
+                        "\"inputs\": [{}], \"minimized\": [{}], \"got\": \"{:#x}\", \"want\": \"{:#x}\"",
+                        hex_list(&e.inputs),
+                        hex_list(&e.minimized),
+                        e.got,
+                        e.want
+                    ));
+                    s.push('}');
+                    if j + 1 < t.examples.len() {
+                        s.push(',');
+                    }
+                    s.push('\n');
+                }
+                s.push_str("      ]\n");
+            }
+            s.push_str("    }");
+            if i + 1 < self.tasks.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn hex_list(xs: &[u64]) -> String {
+    xs.iter()
+        .map(|x| format!("\"{x:#x}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let r = Report {
+            mode: "quick".into(),
+            tasks: vec![TaskReport {
+                name: "exh8/posit8/add/scalar".into(),
+                cases: 65536,
+                mismatches: 1,
+                examples: vec![Example {
+                    inputs: vec![0x12, 0x34],
+                    minimized: vec![0x10, 0x04],
+                    got: 0x11,
+                    want: 0x12,
+                }],
+            }],
+        };
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"total_mismatches\": 1"));
+        assert!(a.contains("\"0x10\", \"0x4\""));
+        assert!(a.ends_with("}\n"));
+    }
+}
