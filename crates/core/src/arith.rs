@@ -9,6 +9,7 @@
 //! detected by a single "sign bit set and all others clear" test (§V: an OR
 //! tree of no more than six logic levels for 64-bit posits).
 
+use crate::events::PositEvents;
 use crate::posit::Posit;
 
 // `add`/`sub`/`mul`/`div` match the softfloat-style naming used across the
@@ -23,21 +24,32 @@ impl Posit {
     /// Panics if the operand formats differ.
     #[must_use]
     pub fn add(self, rhs: Self) -> Self {
+        self.add_with_events(rhs).0
+    }
+
+    /// Addition plus the [`PositEvents`] it raised. Propagating an input
+    /// NaR raises no event; only *producing* NaR from real inputs does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    #[must_use]
+    pub fn add_with_events(self, rhs: Self) -> (Self, PositEvents) {
         assert_eq!(self.format(), rhs.format(), "mixed-format posit add");
         let fmt = self.format();
         if self.is_nar() || rhs.is_nar() {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NONE);
         }
         if self.is_zero() {
-            return rhs;
+            return (rhs, PositEvents::NONE);
         }
         if rhs.is_zero() {
-            return self;
+            return (self, PositEvents::NONE);
         }
         let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
             // NaR/zero were handled above; unreachable, but NaR is the
             // only sound answer if decode ever fails.
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         // Exact alignment: posit32 significands are <= 28 bits and scales
         // span +-120, so the aligned sum always fits i128 (28 + 241 < ...
@@ -59,7 +71,7 @@ impl Posit {
             };
             let sum = x + y;
             if sum == 0 {
-                return Self::zero(fmt);
+                return (Self::zero(fmt), PositEvents::NONE);
             }
             sum_sign = sum < 0;
             sum_sig = sum.unsigned_abs();
@@ -75,7 +87,7 @@ impl Posit {
             sum_sig = sum.unsigned_abs();
             sum_exp = hi.exp - 3;
         }
-        Self::from_parts(sum_sign, sum_sig, sum_exp, fmt)
+        Self::from_parts_with_events(sum_sign, sum_sig, sum_exp, fmt)
     }
 
     /// Subtraction (`self - rhs`) with posit rounding.
@@ -88,6 +100,16 @@ impl Posit {
         self.add(rhs.neg())
     }
 
+    /// Subtraction plus the [`PositEvents`] it raised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    #[must_use]
+    pub fn sub_with_events(self, rhs: Self) -> (Self, PositEvents) {
+        self.add_with_events(rhs.neg())
+    }
+
     /// Multiplication with posit rounding.
     ///
     /// # Panics
@@ -95,19 +117,29 @@ impl Posit {
     /// Panics if the operand formats differ.
     #[must_use]
     pub fn mul(self, rhs: Self) -> Self {
+        self.mul_with_events(rhs).0
+    }
+
+    /// Multiplication plus the [`PositEvents`] it raised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    #[must_use]
+    pub fn mul_with_events(self, rhs: Self) -> (Self, PositEvents) {
         assert_eq!(self.format(), rhs.format(), "mixed-format posit mul");
         let fmt = self.format();
         if self.is_nar() || rhs.is_nar() {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NONE);
         }
         if self.is_zero() || rhs.is_zero() {
-            return Self::zero(fmt);
+            return (Self::zero(fmt), PositEvents::NONE);
         }
         let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         let prod = a.sig as u128 * b.sig as u128;
-        Self::from_parts(a.sign ^ b.sign, prod, a.exp + b.exp, fmt)
+        Self::from_parts_with_events(a.sign ^ b.sign, prod, a.exp + b.exp, fmt)
     }
 
     /// Division with posit rounding. `x / 0` and anything involving NaR
@@ -118,16 +150,31 @@ impl Posit {
     /// Panics if the operand formats differ.
     #[must_use]
     pub fn div(self, rhs: Self) -> Self {
+        self.div_with_events(rhs).0
+    }
+
+    /// Division plus the [`PositEvents`] it raised. `x / 0` (for real
+    /// nonzero `x`) produces NaR and raises `NAR`; propagating an input
+    /// NaR raises nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    #[must_use]
+    pub fn div_with_events(self, rhs: Self) -> (Self, PositEvents) {
         assert_eq!(self.format(), rhs.format(), "mixed-format posit div");
         let fmt = self.format();
-        if self.is_nar() || rhs.is_nar() || rhs.is_zero() {
-            return Self::nar(fmt);
+        if self.is_nar() || rhs.is_nar() {
+            return (Self::nar(fmt), PositEvents::NONE);
+        }
+        if rhs.is_zero() {
+            return (Self::nar(fmt), PositEvents::NAR);
         }
         if self.is_zero() {
-            return Self::zero(fmt);
+            return (Self::zero(fmt), PositEvents::NONE);
         }
         let (Some(a), Some(b)) = (self.unpack(), rhs.unpack()) else {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         // Quotient with n + 4 extra bits; remainder folds into sticky.
         let extra = fmt.n() + 4;
@@ -139,21 +186,32 @@ impl Posit {
         // at least `extra - 1` significant bits — comfortably more than the
         // n-1-bit encoding target.
         let sig = q | u128::from(r != 0);
-        Self::from_parts(a.sign ^ b.sign, sig, a.exp - b.exp - extra as i32, fmt)
+        Self::from_parts_with_events(a.sign ^ b.sign, sig, a.exp - b.exp - extra as i32, fmt)
     }
 
     /// Square root with posit rounding. Negative inputs and NaR give NaR.
     #[must_use]
     pub fn sqrt(self) -> Self {
+        self.sqrt_with_events().0
+    }
+
+    /// Square root plus the [`PositEvents`] it raised. A negative input
+    /// produces NaR and raises `NAR`; propagating an input NaR raises
+    /// nothing.
+    #[must_use]
+    pub fn sqrt_with_events(self) -> (Self, PositEvents) {
         let fmt = self.format();
-        if self.is_nar() || (self.sign() && !self.is_zero()) {
-            return Self::nar(fmt);
+        if self.is_nar() {
+            return (Self::nar(fmt), PositEvents::NONE);
+        }
+        if self.sign() && !self.is_zero() {
+            return (Self::nar(fmt), PositEvents::NAR);
         }
         if self.is_zero() {
-            return self;
+            return (self, PositEvents::NONE);
         }
         let Some(u) = self.unpack() else {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         let mut sig = u.sig as u128;
         let mut exp = u.exp;
@@ -166,7 +224,7 @@ impl Posit {
         exp -= 2 * t as i32;
         let root = isqrt_u128(sig);
         let sticky = u128::from(root * root != sig);
-        Self::from_parts(false, root | sticky, exp / 2, fmt)
+        Self::from_parts_with_events(false, root | sticky, exp / 2, fmt)
     }
 
     /// Fused multiply-add `self * b + c` with a single posit rounding.
@@ -179,26 +237,36 @@ impl Posit {
     /// Panics if the operand formats differ.
     #[must_use]
     pub fn fma(self, b: Self, c: Self) -> Self {
+        self.fma_with_events(b, c).0
+    }
+
+    /// Fused multiply-add plus the [`PositEvents`] it raised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    #[must_use]
+    pub fn fma_with_events(self, b: Self, c: Self) -> (Self, PositEvents) {
         assert_eq!(self.format(), b.format(), "mixed-format posit fma");
         assert_eq!(self.format(), c.format(), "mixed-format posit fma");
         let fmt = self.format();
         if self.is_nar() || b.is_nar() || c.is_nar() {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NONE);
         }
         if self.is_zero() || b.is_zero() {
-            return c;
+            return (c, PositEvents::NONE);
         }
         let (Some(ua), Some(ub)) = (self.unpack(), b.unpack()) else {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         let prod = ua.sig as u128 * ub.sig as u128;
         let psign = ua.sign ^ ub.sign;
         let pexp = ua.exp + ub.exp;
         if c.is_zero() {
-            return Self::from_parts(psign, prod, pexp, fmt);
+            return Self::from_parts_with_events(psign, prod, pexp, fmt);
         }
         let Some(uc) = c.unpack() else {
-            return Self::nar(fmt);
+            return (Self::nar(fmt), PositEvents::NAR);
         };
         let (hi_sig, hi_exp, hi_sign, lo_sig, lo_exp, lo_sign) = if pexp >= uc.exp {
             (prod, pexp, psign, uc.sig as u128, uc.exp, uc.sign)
@@ -218,7 +286,7 @@ impl Posit {
             };
             let sum = x + y;
             if sum == 0 {
-                return Self::zero(fmt);
+                return (Self::zero(fmt), PositEvents::NONE);
             }
             sum_sign = sum < 0;
             sum_sig = sum.unsigned_abs();
@@ -233,7 +301,7 @@ impl Posit {
             sum_sig = sum.unsigned_abs();
             sum_exp = hi_exp - 3;
         }
-        Self::from_parts(sum_sign, sum_sig, sum_exp, fmt)
+        Self::from_parts_with_events(sum_sign, sum_sig, sum_exp, fmt)
     }
 
     /// Reciprocal, `1 / self`.

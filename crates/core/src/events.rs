@@ -1,0 +1,210 @@
+//! Posit operation event reporting.
+//!
+//! Posits have no IEEE exception flags — the format's pitch (§V of the
+//! paper) is that the *only* special value is NaR and the only rounding
+//! surprise is saturation at `maxpos`/`minpos`. For robustness accounting
+//! on edge devices that is still information worth surfacing: a NaR that
+//! appears mid-inference poisons every downstream MAC, and silent
+//! saturation is exactly the failure mode fixed-point designers audit for.
+//! This module mirrors `nga_softfloat::Flags`/`FlagCounters` with the three
+//! events a posit operation can raise.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Events raised by a single posit operation.
+///
+/// ```
+/// use nga_core::{Posit, PositEvents, PositFormat};
+/// let p8 = PositFormat::POSIT8;
+/// let (r, ev) = Posit::one(p8).div_with_events(Posit::zero(p8));
+/// assert!(r.is_nar());
+/// assert!(ev.contains(PositEvents::NAR));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PositEvents(u8);
+
+impl PositEvents {
+    /// No event: the result is exact and real.
+    pub const NONE: Self = Self(0);
+    /// NaR was *produced* from non-NaR inputs (division by zero, square
+    /// root of a negative). Propagating an input NaR does not raise this.
+    pub const NAR: Self = Self(1);
+    /// The result was rounded (any discarded nonzero bits).
+    pub const INEXACT: Self = Self(2);
+    /// The rounder saturated at `maxpos` or `minpos` instead of
+    /// overflowing/underflowing — posit's replacement for the IEEE
+    /// overflow/underflow exceptions.
+    pub const SATURATED: Self = Self(4);
+
+    /// Whether all events in `other` are set in `self`.
+    #[must_use]
+    pub fn contains(&self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no event is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits (bit 0 = NaR, bit 1 = inexact, bit 2 = saturated).
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for PositEvents {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PositEvents {
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for PositEvents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (Self::NAR, "nar"),
+            (Self::INEXACT, "inexact"),
+            (Self::SATURATED, "saturated"),
+        ];
+        let mut first = true;
+        for (ev, name) in names {
+            if self.contains(ev) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sticky per-event counters accumulated across many posit operations.
+///
+/// Counters saturate at `u64::MAX` instead of wrapping so the type stays
+/// panic-free under `-C overflow-checks`. Merging is commutative and
+/// associative, which keeps row-sharded kernel sweeps deterministic
+/// regardless of thread completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PositEventCounters {
+    ops: u64,
+    nar: u64,
+    inexact: u64,
+    saturated: u64,
+}
+
+impl PositEventCounters {
+    /// All counters zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the events raised by one operation.
+    pub fn record(&mut self, events: PositEvents) {
+        self.ops = self.ops.saturating_add(1);
+        if events.contains(PositEvents::NAR) {
+            self.nar = self.nar.saturating_add(1);
+        }
+        if events.contains(PositEvents::INEXACT) {
+            self.inexact = self.inexact.saturating_add(1);
+        }
+        if events.contains(PositEvents::SATURATED) {
+            self.saturated = self.saturated.saturating_add(1);
+        }
+    }
+
+    /// Fold another accumulator into this one (order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        self.ops = self.ops.saturating_add(other.ops);
+        self.nar = self.nar.saturating_add(other.nar);
+        self.inexact = self.inexact.saturating_add(other.inexact);
+        self.saturated = self.saturated.saturating_add(other.saturated);
+    }
+
+    /// The sticky union: every event raised at least once.
+    #[must_use]
+    pub fn union(&self) -> PositEvents {
+        let mut ev = PositEvents::NONE;
+        if self.nar > 0 {
+            ev |= PositEvents::NAR;
+        }
+        if self.inexact > 0 {
+            ev |= PositEvents::INEXACT;
+        }
+        if self.saturated > 0 {
+            ev |= PositEvents::SATURATED;
+        }
+        ev
+    }
+
+    /// Operations recorded.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations that produced NaR from non-NaR inputs.
+    #[must_use]
+    pub fn nar(&self) -> u64 {
+        self.nar
+    }
+
+    /// Operations that rounded.
+    #[must_use]
+    pub fn inexact(&self) -> u64 {
+        self.inexact
+    }
+
+    /// Operations that saturated at `maxpos`/`minpos`.
+    #[must_use]
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_union_and_display() {
+        let ev = PositEvents::INEXACT | PositEvents::SATURATED;
+        assert!(ev.contains(PositEvents::INEXACT));
+        assert!(!ev.contains(PositEvents::NAR));
+        assert_eq!(ev.to_string(), "inexact|saturated");
+        assert_eq!(PositEvents::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn counters_record_and_merge() {
+        let mut a = PositEventCounters::new();
+        a.record(PositEvents::NAR);
+        a.record(PositEvents::NONE);
+        let mut b = PositEventCounters::new();
+        b.record(PositEvents::INEXACT | PositEvents::SATURATED);
+        a.merge(&b);
+        assert_eq!(a.ops(), 3);
+        assert_eq!(a.nar(), 1);
+        assert_eq!(a.inexact(), 1);
+        assert_eq!(a.saturated(), 1);
+        assert_eq!(
+            a.union(),
+            PositEvents::NAR | PositEvents::INEXACT | PositEvents::SATURATED
+        );
+    }
+}

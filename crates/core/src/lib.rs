@@ -41,11 +41,13 @@
 
 mod analysis;
 mod arith;
+mod events;
 mod format;
 mod posit;
 mod quire;
 
 pub use analysis::{decimal_accuracy, decode_difficulty, DecodeDifficulty, PositRingCensus};
+pub use events::{PositEventCounters, PositEvents};
 pub use format::PositFormat;
 pub use posit::{ParsePositError, Posit, PositClass, Unpacked};
 pub use quire::Quire;

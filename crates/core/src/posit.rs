@@ -256,8 +256,25 @@ impl Posit {
     #[inline]
     #[must_use]
     pub fn from_parts(sign: bool, sig: u128, exp: i32, format: PositFormat) -> Self {
+        Self::from_parts_with_events(sign, sig, exp, format).0
+    }
+
+    /// [`Self::from_parts`] plus the [`PositEvents`](crate::PositEvents)
+    /// the rounder raised: `INEXACT` when nonzero bits were discarded, and
+    /// `SATURATED` when the result railed at `maxpos`/`minpos` (either from
+    /// an out-of-range scale or from the round-up clamp). This is the single
+    /// rounding site, so every arithmetic op inherits its event semantics.
+    #[inline]
+    #[must_use]
+    pub fn from_parts_with_events(
+        sign: bool,
+        sig: u128,
+        exp: i32,
+        format: PositFormat,
+    ) -> (Self, crate::PositEvents) {
+        use crate::PositEvents;
         if sig == 0 {
-            return Self::zero(format);
+            return (Self::zero(format), PositEvents::NONE);
         }
         let fmt = format;
         let n = fmt.n();
@@ -275,14 +292,15 @@ impl Posit {
         };
         let frac_len = (127 - sig.leading_zeros()) as i32; // sig has frac_len+1 bits
         let scale = exp + frac_len;
+        let sat = PositEvents::SATURATED | PositEvents::INEXACT;
         // Saturate out-of-range scales.
         if scale > fmt.max_scale() {
             let m = Self::maxpos(fmt);
-            return if sign { m.neg() } else { m };
+            return (if sign { m.neg() } else { m }, sat);
         }
         if scale < -fmt.max_scale() {
             let m = Self::minpos(fmt);
-            return if sign { m.neg() } else { m };
+            return (if sign { m.neg() } else { m }, sat);
         }
         // Regime / exponent split (Euclidean so 0 <= e < 2^es).
         let useed = fmt.useed_log2();
@@ -301,6 +319,7 @@ impl Posit {
         debug_assert!(body_len <= 127, "body fits u128");
         let body = (regime << (es + frac_len as u32)) | (e << frac_len) | frac;
         // Round the body to n-1 bits, ties to even encoding.
+        let mut events = PositEvents::NONE;
         let target = n - 1;
         let rounded: u128 = if body_len <= target {
             body << (target - body_len)
@@ -310,6 +329,9 @@ impl Posit {
             let rem = body & mask;
             let q = body >> drop;
             let half = 1u128 << (drop - 1);
+            if rem != 0 {
+                events |= PositEvents::INEXACT;
+            }
             if rem > half || (rem == half && q & 1 == 1) {
                 q + 1
             } else {
@@ -318,6 +340,9 @@ impl Posit {
         };
         // Saturate: never round to zero or into the NaR half.
         let max_mag = (1u128 << target) - 1;
+        if rounded < 1 || rounded > max_mag {
+            events |= sat;
+        }
         let mag = rounded.clamp(1, max_mag) as u64;
         let bits = if sign {
             mag.wrapping_neg() & fmt.bits_mask()
@@ -329,7 +354,7 @@ impl Posit {
         // reachable.
         debug_assert!(bits != fmt.nar_bits(), "encode produced the NaR pattern");
         debug_assert!(bits != 0, "nonzero value rounded to the zero pattern");
-        Self { bits, format: fmt }
+        (Self { bits, format: fmt }, events)
     }
 
     // lint: allow-start(no-host-float): declared host<->posit conversion

@@ -1,0 +1,207 @@
+//! Fixed-point operation event reporting.
+//!
+//! Fixed-point datapaths have exactly two silent hazards: range overflow
+//! (handled by saturation or two's-complement wrap, per
+//! [`OverflowMode`](crate::OverflowMode)) and quantization (dropped
+//! fraction bits). Hardware DSPs expose both as status bits; this module
+//! mirrors `nga_softfloat::Flags`/`FlagCounters` so robustness sweeps can
+//! account for them per operation.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Events raised by a single fixed-point operation.
+///
+/// ```
+/// use nga_fixed::{Fixed, FixedEvents, FixedFormat, OverflowMode};
+/// # fn main() -> Result<(), nga_fixed::FixedError> {
+/// let fmt = FixedFormat::signed(4, 4)?;
+/// let max = Fixed::from_raw(fmt.max_raw(), fmt)?;
+/// let (sum, ev) = max.checked_add_with_events(max)?;
+/// assert_eq!(sum.raw(), fmt.max_raw());
+/// assert!(ev.contains(FixedEvents::SATURATED));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FixedEvents(u8);
+
+impl FixedEvents {
+    /// No event: the result is exact and in range.
+    pub const NONE: Self = Self(0);
+    /// The result railed at the format's min/max (saturating overflow).
+    pub const SATURATED: Self = Self(1);
+    /// The result wrapped modulo 2^bits (two's-complement overflow).
+    pub const WRAPPED: Self = Self(2);
+    /// Nonzero fraction bits were discarded by re-quantization.
+    pub const ROUNDED: Self = Self(4);
+
+    /// Whether all events in `other` are set in `self`.
+    #[must_use]
+    pub fn contains(&self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no event is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits (bit 0 = saturated, bit 1 = wrapped, bit 2 = rounded).
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for FixedEvents {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for FixedEvents {
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for FixedEvents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (Self::SATURATED, "saturated"),
+            (Self::WRAPPED, "wrapped"),
+            (Self::ROUNDED, "rounded"),
+        ];
+        let mut first = true;
+        for (ev, name) in names {
+            if self.contains(ev) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sticky per-event counters accumulated across many fixed-point operations.
+///
+/// Counters saturate at `u64::MAX`; merging is order-independent so
+/// row-sharded sweeps stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedEventCounters {
+    ops: u64,
+    saturated: u64,
+    wrapped: u64,
+    rounded: u64,
+}
+
+impl FixedEventCounters {
+    /// All counters zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the events raised by one operation.
+    pub fn record(&mut self, events: FixedEvents) {
+        self.ops = self.ops.saturating_add(1);
+        if events.contains(FixedEvents::SATURATED) {
+            self.saturated = self.saturated.saturating_add(1);
+        }
+        if events.contains(FixedEvents::WRAPPED) {
+            self.wrapped = self.wrapped.saturating_add(1);
+        }
+        if events.contains(FixedEvents::ROUNDED) {
+            self.rounded = self.rounded.saturating_add(1);
+        }
+    }
+
+    /// Fold another accumulator into this one (order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        self.ops = self.ops.saturating_add(other.ops);
+        self.saturated = self.saturated.saturating_add(other.saturated);
+        self.wrapped = self.wrapped.saturating_add(other.wrapped);
+        self.rounded = self.rounded.saturating_add(other.rounded);
+    }
+
+    /// The sticky union: every event raised at least once.
+    #[must_use]
+    pub fn union(&self) -> FixedEvents {
+        let mut ev = FixedEvents::NONE;
+        if self.saturated > 0 {
+            ev |= FixedEvents::SATURATED;
+        }
+        if self.wrapped > 0 {
+            ev |= FixedEvents::WRAPPED;
+        }
+        if self.rounded > 0 {
+            ev |= FixedEvents::ROUNDED;
+        }
+        ev
+    }
+
+    /// Operations recorded.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations that saturated.
+    #[must_use]
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Operations that wrapped.
+    #[must_use]
+    pub fn wrapped(&self) -> u64 {
+        self.wrapped
+    }
+
+    /// Operations that discarded nonzero fraction bits.
+    #[must_use]
+    pub fn rounded(&self) -> u64 {
+        self.rounded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_and_display() {
+        let ev = FixedEvents::SATURATED | FixedEvents::ROUNDED;
+        assert!(ev.contains(FixedEvents::SATURATED));
+        assert!(!ev.contains(FixedEvents::WRAPPED));
+        assert_eq!(ev.to_string(), "saturated|rounded");
+        assert_eq!(FixedEvents::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn counters_record_and_merge() {
+        let mut a = FixedEventCounters::new();
+        a.record(FixedEvents::SATURATED);
+        let mut b = FixedEventCounters::new();
+        b.record(FixedEvents::WRAPPED | FixedEvents::ROUNDED);
+        b.record(FixedEvents::NONE);
+        a.merge(&b);
+        assert_eq!(a.ops(), 3);
+        assert_eq!(a.saturated(), 1);
+        assert_eq!(a.wrapped(), 1);
+        assert_eq!(a.rounded(), 1);
+        assert_eq!(
+            a.union(),
+            FixedEvents::SATURATED | FixedEvents::WRAPPED | FixedEvents::ROUNDED
+        );
+    }
+}

@@ -2,6 +2,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 use crate::error::FixedError;
+use crate::events::FixedEvents;
 use crate::format::{FixedFormat, OverflowMode, RoundingMode};
 use crate::round_scaled;
 
@@ -60,8 +61,23 @@ impl Fixed {
         format: FixedFormat,
         overflow: OverflowMode,
     ) -> Result<Self, FixedError> {
+        Self::from_raw_with_events(raw, format, overflow).map(|(v, _)| v)
+    }
+
+    /// [`Self::from_raw_with`] plus the [`FixedEvents`] raised: `SATURATED`
+    /// when an out-of-range raw railed at min/max, `WRAPPED` when it wrapped
+    /// modulo 2^bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] only under [`OverflowMode::Error`].
+    pub fn from_raw_with_events(
+        raw: i128,
+        format: FixedFormat,
+        overflow: OverflowMode,
+    ) -> Result<(Self, FixedEvents), FixedError> {
         if format.contains_raw(raw) {
-            return Ok(Self { raw, format });
+            return Ok((Self { raw, format }, FixedEvents::NONE));
         }
         match overflow {
             OverflowMode::Error => Err(FixedError::Overflow { format, raw }),
@@ -79,10 +95,13 @@ impl Fixed {
                     (raw > format.max_raw()) == (clamped == format.max_raw()),
                     "saturation picked the wrong rail for raw = {raw}"
                 );
-                Ok(Self {
-                    raw: clamped,
-                    format,
-                })
+                Ok((
+                    Self {
+                        raw: clamped,
+                        format,
+                    },
+                    FixedEvents::SATURATED,
+                ))
             }
             OverflowMode::Wrap => {
                 let bits = format.total_bits();
@@ -95,10 +114,13 @@ impl Fixed {
                 if format.is_signed() && (wrapped >> (bits - 1)) & 1 == 1 {
                     wrapped -= 1i128 << bits;
                 }
-                Ok(Self {
-                    raw: wrapped,
-                    format,
-                })
+                Ok((
+                    Self {
+                        raw: wrapped,
+                        format,
+                    },
+                    FixedEvents::WRAPPED,
+                ))
             }
         }
     }
@@ -192,13 +214,23 @@ impl Fixed {
     ///
     /// Returns [`FixedError::FormatMismatch`] if the operand formats differ.
     pub fn checked_add(&self, rhs: Self) -> Result<Self, FixedError> {
+        self.checked_add_with_events(rhs).map(|(v, _)| v)
+    }
+
+    /// [`Self::checked_add`] plus the [`FixedEvents`] raised (`SATURATED`
+    /// on an accumulator rail).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operand formats differ.
+    pub fn checked_add_with_events(&self, rhs: Self) -> Result<(Self, FixedEvents), FixedError> {
         if self.format != rhs.format {
             return Err(FixedError::FormatMismatch {
                 lhs: self.format,
                 rhs: rhs.format,
             });
         }
-        Self::from_raw_with(self.raw + rhs.raw, self.format, OverflowMode::Saturate)
+        Self::from_raw_with_events(self.raw + rhs.raw, self.format, OverflowMode::Saturate)
     }
 
     /// Same-format subtraction with saturation.
@@ -207,13 +239,22 @@ impl Fixed {
     ///
     /// Returns [`FixedError::FormatMismatch`] if the operand formats differ.
     pub fn checked_sub(&self, rhs: Self) -> Result<Self, FixedError> {
+        self.checked_sub_with_events(rhs).map(|(v, _)| v)
+    }
+
+    /// [`Self::checked_sub`] plus the [`FixedEvents`] raised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operand formats differ.
+    pub fn checked_sub_with_events(&self, rhs: Self) -> Result<(Self, FixedEvents), FixedError> {
         if self.format != rhs.format {
             return Err(FixedError::FormatMismatch {
                 lhs: self.format,
                 rhs: rhs.format,
             });
         }
-        Self::from_raw_with(self.raw - rhs.raw, self.format, OverflowMode::Saturate)
+        Self::from_raw_with_events(self.raw - rhs.raw, self.format, OverflowMode::Saturate)
     }
 
     /// Negation (saturating: the most negative value negates to max).
@@ -241,8 +282,26 @@ impl Fixed {
         mode: RoundingMode,
         overflow: OverflowMode,
     ) -> Result<Self, FixedError> {
+        self.convert_with_events(format, mode, overflow).map(|(v, _)| v)
+    }
+
+    /// [`Self::convert`] plus the [`FixedEvents`] raised: `ROUNDED` when the
+    /// narrowing discarded nonzero fraction bits, plus `SATURATED`/`WRAPPED`
+    /// from the range handling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] under [`OverflowMode::Error`], and
+    /// never otherwise.
+    pub fn convert_with_events(
+        &self,
+        format: FixedFormat,
+        mode: RoundingMode,
+        overflow: OverflowMode,
+    ) -> Result<(Self, FixedEvents), FixedError> {
         let src_f = self.format.frac_bits();
         let dst_f = format.frac_bits();
+        let mut events = FixedEvents::NONE;
         let raw = if dst_f >= src_f {
             self.raw << (dst_f - src_f)
         } else {
@@ -250,6 +309,9 @@ impl Fixed {
             let div = 1i128 << shift;
             let q = self.raw.div_euclid(div);
             let r = self.raw.rem_euclid(div);
+            if r != 0 {
+                events |= FixedEvents::ROUNDED;
+            }
             match mode {
                 RoundingMode::Floor => q,
                 RoundingMode::Truncate => {
@@ -280,7 +342,8 @@ impl Fixed {
                 }
             }
         };
-        Self::from_raw_with(raw, format, overflow)
+        let (v, range_ev) = Self::from_raw_with_events(raw, format, overflow)?;
+        Ok((v, events | range_ev))
     }
 
     /// Raw value re-expressed with `frac` fraction bits (exact; `frac` must

@@ -5,6 +5,8 @@ use nga_core::{Posit, PositFormat};
 use nga_fixed::{Fixed, FixedFormat, OverflowMode, RoundingMode};
 use nga_softfloat::{FloatFormat, SoftFloat};
 
+use crate::status::Event8;
+
 /// An 8-bit number format, identified so kernels can be generic over it.
 ///
 /// Values are raw encodings (`u8` codes): posit bit patterns, IEEE-style
@@ -60,17 +62,33 @@ impl Format8 {
     /// Bit-exact scalar multiply on raw codes (the table seed).
     #[must_use]
     pub fn mul_scalar(self, a: u8, b: u8) -> u8 {
+        self.mul_scalar_events(a, b).0
+    }
+
+    /// Bit-exact scalar add on raw codes (the table seed).
+    #[must_use]
+    pub fn add_scalar(self, a: u8, b: u8) -> u8 {
+        self.add_scalar_events(a, b).0
+    }
+
+    /// [`Self::mul_scalar`] plus the [`Event8`] status the op raised,
+    /// translated from the source crate's event vocabulary. This is the
+    /// seed for the per-format event tables.
+    #[must_use]
+    pub fn mul_scalar_events(self, a: u8, b: u8) -> (u8, Event8) {
         match self {
             Self::Posit8 => {
                 let x = Posit::from_bits(u64::from(a), PositFormat::POSIT8);
                 let y = Posit::from_bits(u64::from(b), PositFormat::POSIT8);
-                x.mul(y).bits() as u8
+                let (r, ev) = x.mul_with_events(y);
+                (r.bits() as u8, Event8::from_posit(ev))
             }
             Self::E4m3 | Self::E5m2 => {
                 let fmt = self.float_format();
                 let x = SoftFloat::from_bits(u64::from(a), fmt);
                 let y = SoftFloat::from_bits(u64::from(b), fmt);
-                x.mul(y).bits() as u8
+                let (r, fl) = x.mul_with_flags(y);
+                (r.bits() as u8, Event8::from_flags(fl))
             }
             Self::Fixed8 => {
                 let fmt = Self::fixed_format();
@@ -79,37 +97,43 @@ impl Format8 {
                 // The exact Q8.8 product fits MAX_BITS and saturating
                 // convert never reports overflow, so the fallback arm is
                 // unreachable.
-                let r = x
-                    .mul_exact(&y)
-                    .and_then(|w| w.convert(fmt, RoundingMode::NearestEven, OverflowMode::Saturate));
+                let r = x.mul_exact(&y).and_then(|w| {
+                    w.convert_with_events(fmt, RoundingMode::NearestEven, OverflowMode::Saturate)
+                });
                 debug_assert!(r.is_ok(), "Q4.4 product path cannot fail");
-                r.map_or(0, |r| r.raw() as u8)
+                r.map_or((0, Event8::NONE), |(r, ev)| {
+                    (r.raw() as u8, Event8::from_fixed(ev))
+                })
             }
         }
     }
 
-    /// Bit-exact scalar add on raw codes (the table seed).
+    /// [`Self::add_scalar`] plus the [`Event8`] status the op raised.
     #[must_use]
-    pub fn add_scalar(self, a: u8, b: u8) -> u8 {
+    pub fn add_scalar_events(self, a: u8, b: u8) -> (u8, Event8) {
         match self {
             Self::Posit8 => {
                 let x = Posit::from_bits(u64::from(a), PositFormat::POSIT8);
                 let y = Posit::from_bits(u64::from(b), PositFormat::POSIT8);
-                x.add(y).bits() as u8
+                let (r, ev) = x.add_with_events(y);
+                (r.bits() as u8, Event8::from_posit(ev))
             }
             Self::E4m3 | Self::E5m2 => {
                 let fmt = self.float_format();
                 let x = SoftFloat::from_bits(u64::from(a), fmt);
                 let y = SoftFloat::from_bits(u64::from(b), fmt);
-                x.add(y).bits() as u8
+                let (r, fl) = x.add_with_flags(y);
+                (r.bits() as u8, Event8::from_flags(fl))
             }
             Self::Fixed8 => {
                 let fmt = Self::fixed_format();
                 let x = fixed_from_code(a, fmt);
                 let y = fixed_from_code(b, fmt);
-                let r = x.checked_add(y);
+                let r = x.checked_add_with_events(y);
                 debug_assert!(r.is_ok(), "same-format saturating add cannot fail");
-                r.map_or(0, |r| r.raw() as u8)
+                r.map_or((0, Event8::NONE), |(r, ev)| {
+                    (r.raw() as u8, Event8::from_fixed(ev))
+                })
             }
         }
     }

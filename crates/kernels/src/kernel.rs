@@ -3,6 +3,7 @@
 //! without duplicating call sites.
 
 use crate::format8::Format8;
+use crate::status::StatusCounters;
 use crate::table::LutOp;
 use crate::tensor;
 
@@ -26,6 +27,21 @@ pub trait Kernel: Sync {
         k: usize,
         n: usize,
     );
+
+    /// `out = a · b` over 8-bit format codes, returning per-event status
+    /// counters (one mul + one add event per MAC). Output codes equal
+    /// [`Self::matmul8`] and the counters are identical across all tiers.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul8_status(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> StatusCounters;
 }
 
 /// Reference tier: serial loops through the bit-exact scalar ops
@@ -54,6 +70,19 @@ impl Kernel for ScalarKernel {
     ) {
         tensor::matmul8_scalar(fmt, a, b, out, m, k, n);
     }
+
+    fn matmul8_status(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> StatusCounters {
+        tensor::matmul8_status_scalar(fmt, a, b, out, m, k, n)
+    }
 }
 
 /// Table tier: serial loops, one 64 KiB lookup per multiply/add.
@@ -81,6 +110,19 @@ impl Kernel for TableKernel {
     ) {
         tensor::matmul8(&LutOp::new(fmt), a, b, out, m, k, n);
     }
+
+    fn matmul8_status(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> StatusCounters {
+        tensor::matmul8_status_table(fmt, a, b, out, m, k, n)
+    }
 }
 
 /// Full tier: lookup tables plus scoped-thread row bands.
@@ -107,6 +149,19 @@ impl Kernel for ParallelKernel {
         n: usize,
     ) {
         tensor::matmul8_parallel(&LutOp::new(fmt), a, b, out, m, k, n);
+    }
+
+    fn matmul8_status(
+        &self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> StatusCounters {
+        tensor::matmul8_status_parallel(fmt, a, b, out, m, k, n)
     }
 }
 

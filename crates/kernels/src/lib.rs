@@ -27,14 +27,20 @@
 mod format8;
 mod kernel;
 mod parallel;
+mod status;
 mod table;
 mod tensor;
 
 pub use format8::Format8;
 pub use kernel::{default_kernel, Kernel, ParallelKernel, ScalarKernel, TableKernel};
 pub use parallel::{for_each_band, num_threads, split_bands};
-pub use table::{add_table, mac_table, mul_table, BinaryTable, LutOp, MacTable};
+pub use status::{Event8, StatusCounters};
+pub use table::{
+    add_event_table, add_table, mac_table, mul_event_table, mul_table, BinaryTable, LutOp,
+    MacTable, StatusOp,
+};
 pub use tensor::{
-    conv2d_f32, dot8, dot_f32, im2col, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32,
-    matmul_f32_parallel,
+    conv2d_f32, dot8, dot_f32, im2col, matmul8, matmul8_parallel, matmul8_scalar,
+    matmul8_status_parallel, matmul8_status_scalar, matmul8_status_table, matmul8_tables,
+    matmul_f32, matmul_f32_parallel,
 };

@@ -12,9 +12,31 @@ use nga_approx::ApproxMultiplier;
 
 use crate::format8::Format8;
 
-/// An exhaustive `u8 × u8 → u8` operation table (64 KiB).
+/// An exhaustive `u8 × u8 → u8` operation table (64 KiB), carrying an
+/// FNV-1a checksum of its contents taken at build time.
+///
+/// On an edge device, 64 KiB of SRAM holding the entire arithmetic of a
+/// format is a single-event-upset target: one flipped bit silently
+/// corrupts every MAC that touches that entry. The stored checksum lets
+/// integrity be re-verified at any point ([`Self::verify`]) so callers
+/// can fall back to the scalar tier ([`crate::Kernel`]) when a table has
+/// been damaged; [`Self::corrupt_entry`] is the fault-injection hook that
+/// models the upset (it deliberately does *not* refresh the checksum).
 pub struct BinaryTable {
     entries: Box<[u8; 65536]>,
+    checksum: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl BinaryTable {
@@ -28,7 +50,8 @@ impl BinaryTable {
                 entries[(usize::from(a) << 8) | usize::from(b)] = op(a, b);
             }
         }
-        Self { entries }
+        let checksum = fnv1a(entries.as_slice());
+        Self { entries, checksum }
     }
 
     /// Looks up `op(a, b)`.
@@ -39,6 +62,27 @@ impl BinaryTable {
         // the bounds check compiles away.
         // lint: allow(no-panic): (a << 8) | b < 65536 by construction
         self.entries[(usize::from(a) << 8) | usize::from(b)]
+    }
+
+    /// The FNV-1a checksum recorded when the table was built.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the checksum and compares it against the build-time
+    /// value: `false` means the entries have been corrupted since build.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        fnv1a(self.entries.as_slice()) == self.checksum
+    }
+
+    /// Fault-injection hook: XORs `mask` into the entry for `(a, b)`,
+    /// modeling a single-event upset in table SRAM. The stored checksum
+    /// is left untouched, so [`Self::verify`] reports the damage.
+    pub fn corrupt_entry(&mut self, a: u8, b: u8, mask: u8) {
+        // lint: allow(no-panic): (a << 8) | b < 65536 by construction
+        self.entries[(usize::from(a) << 8) | usize::from(b)] ^= mask;
     }
 }
 
@@ -71,6 +115,37 @@ pub fn mul_table(fmt: Format8) -> &'static BinaryTable {
 #[inline]
 pub fn add_table(fmt: Format8) -> &'static BinaryTable {
     ADD_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.add_scalar(a, b)))
+}
+
+static MUL_EVENT_TABLES: [OnceLock<BinaryTable>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+static ADD_EVENT_TABLES: [OnceLock<BinaryTable>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+/// The process-wide multiply *event* table for `fmt`: entry `(a, b)`
+/// holds [`Event8::bits`](crate::Event8::bits) of the status the scalar
+/// multiply raises, so the table tier reports byte-identical status to
+/// the scalar tier at one extra load per MAC.
+#[inline]
+pub fn mul_event_table(fmt: Format8) -> &'static BinaryTable {
+    MUL_EVENT_TABLES[fmt.index()]
+        .get_or_init(|| BinaryTable::build(|a, b| fmt.mul_scalar_events(a, b).1.bits()))
+}
+
+/// The process-wide addition *event* table for `fmt` (see
+/// [`mul_event_table`]).
+#[inline]
+pub fn add_event_table(fmt: Format8) -> &'static BinaryTable {
+    ADD_EVENT_TABLES[fmt.index()]
+        .get_or_init(|| BinaryTable::build(|a, b| fmt.add_scalar_events(a, b).1.bits()))
 }
 
 /// Cached multiply + add tables for one format: the unit the tensor
@@ -112,6 +187,59 @@ impl LutOp {
     #[must_use]
     pub fn add(&self, a: u8, b: u8) -> u8 {
         self.add.get(a, b)
+    }
+}
+
+/// Cached value *and* event tables for one format: the unit the
+/// status-reporting tensor kernels thread through their inner loops.
+/// Each multiply/add costs two loads (value + event bits) instead of one.
+#[derive(Debug, Clone, Copy)]
+pub struct StatusOp {
+    format: Format8,
+    mul: &'static BinaryTable,
+    add: &'static BinaryTable,
+    mul_events: &'static BinaryTable,
+    add_events: &'static BinaryTable,
+}
+
+impl StatusOp {
+    /// The (lazily built) value + event table quad for `fmt`.
+    #[must_use]
+    pub fn new(fmt: Format8) -> Self {
+        Self {
+            format: fmt,
+            mul: mul_table(fmt),
+            add: add_table(fmt),
+            mul_events: mul_event_table(fmt),
+            add_events: add_event_table(fmt),
+        }
+    }
+
+    /// The format these tables encode.
+    #[inline(always)]
+    #[must_use]
+    pub fn format(&self) -> Format8 {
+        self.format
+    }
+
+    /// Table-driven multiply with its status events.
+    #[inline(always)]
+    #[must_use]
+    pub fn mul(&self, a: u8, b: u8) -> (u8, crate::Event8) {
+        (
+            self.mul.get(a, b),
+            crate::Event8::from_bits(self.mul_events.get(a, b)),
+        )
+    }
+
+    /// Table-driven add with its status events.
+    #[inline(always)]
+    #[must_use]
+    pub fn add(&self, a: u8, b: u8) -> (u8, crate::Event8) {
+        (
+            self.add.get(a, b),
+            crate::Event8::from_bits(self.add_events.get(a, b)),
+        )
     }
 }
 

@@ -8,8 +8,9 @@
 use std::ops::Range;
 
 use crate::format8::Format8;
-use crate::parallel::for_each_band;
-use crate::table::LutOp;
+use crate::parallel::{for_each_band, num_threads, split_bands};
+use crate::status::StatusCounters;
+use crate::table::{BinaryTable, LutOp, StatusOp};
 
 // ---------------------------------------------------------------------
 // f32 kernels
@@ -260,6 +261,159 @@ pub fn matmul8_scalar(
             }
         }
     }
+}
+
+/// Serial matmul over raw `u8 × u8 → u8` tables supplied by the caller
+/// (same accumulation order as [`matmul8`]). This is the path the fault
+/// injector drives with deliberately corrupted tables, and the one the
+/// verified-LUT fallback in `nga-nn` uses after a checksum pass.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul8_tables(
+    mul: &BinaryTable,
+    add: &BinaryTable,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_matmul_shapes(a, b, out, m, k, n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        orow.fill(0);
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = add.get(*o, mul.get(av, bv));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Status-reporting 8-bit kernels
+// ---------------------------------------------------------------------
+
+/// The status row worker shared by the table and parallel tiers: same
+/// accumulation order as [`matmul8_rows`], recording one mul and one add
+/// event per MAC.
+fn matmul8_status_rows(
+    op: &StatusOp,
+    a: &[u8],
+    b: &[u8],
+    oband: &mut [u8],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    let mut counters = StatusCounters::new();
+    for (li, gi) in rows.enumerate() {
+        let arow = &a[gi * k..(gi + 1) * k];
+        let orow = &mut oband[li * n..(li + 1) * n];
+        orow.fill(0);
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                let (p, mul_ev) = op.mul(av, bv);
+                counters.record(mul_ev);
+                let (s, add_ev) = op.add(*o, p);
+                counters.record(add_ev);
+                *o = s;
+            }
+        }
+    }
+    counters
+}
+
+/// Status-reporting reference matmul through the scalar event ops.
+/// Output codes equal [`matmul8_scalar`]; the returned counters record
+/// one mul and one add event per MAC.
+pub fn matmul8_status_scalar(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    check_matmul_shapes(a, b, out, m, k, n);
+    let mut counters = StatusCounters::new();
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        orow.fill(0);
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                let (p, mul_ev) = fmt.mul_scalar_events(av, bv);
+                counters.record(mul_ev);
+                let (s, add_ev) = fmt.add_scalar_events(*o, p);
+                counters.record(add_ev);
+                *o = s;
+            }
+        }
+    }
+    counters
+}
+
+/// Status-reporting serial table matmul. Because the event tables are
+/// seeded from the scalar event ops, both the output codes and the
+/// counters are identical to [`matmul8_status_scalar`].
+pub fn matmul8_status_table(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    check_matmul_shapes(a, b, out, m, k, n);
+    matmul8_status_rows(&StatusOp::new(fmt), a, b, out, 0..m, k, n)
+}
+
+/// Status-reporting row-banded parallel table matmul. Output codes and
+/// counters are identical to the serial tiers: each band's counters are
+/// accumulated independently and merged with saturating sums, which are
+/// order-independent.
+pub fn matmul8_status_parallel(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    check_matmul_shapes(a, b, out, m, k, n);
+    let op = StatusOp::new(fmt);
+    let threads = num_threads().min(m.max(1));
+    // Same serial-fallback threshold as `for_each_band`.
+    if threads <= 1 || m * n < 16_384 {
+        return matmul8_status_rows(&op, a, b, out, 0..m, k, n);
+    }
+    let bands = split_bands(m, threads);
+    let mut band_counters = vec![StatusCounters::new(); bands.len()];
+    std::thread::scope(|s| {
+        let mut rest = &mut out[..];
+        for (band, slot) in bands.iter().zip(band_counters.iter_mut()) {
+            let (head, tail) = rest.split_at_mut((band.end - band.start) * n);
+            rest = tail;
+            let band = band.clone();
+            let op = &op;
+            s.spawn(move || {
+                *slot = matmul8_status_rows(op, a, b, head, band, k, n);
+            });
+        }
+    });
+    let mut total = StatusCounters::new();
+    for c in &band_counters {
+        total.merge(c);
+    }
+    total
 }
 
 #[cfg(test)]

@@ -12,11 +12,61 @@
 //! noise with a volume of 10 % to the initial time series."
 
 use std::cell::Cell;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::tensor::Tensor;
+
+/// Why an externally supplied sample set was rejected by
+/// [`Dataset::try_from_samples`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataError {
+    /// The dataset was declared with zero classes.
+    NoClasses,
+    /// A sample's label is outside `0..classes`.
+    LabelOutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The out-of-range label.
+        label: usize,
+        /// The declared class count.
+        classes: usize,
+    },
+    /// A sample contains a non-finite value (NaN or ±inf) — the
+    /// signature of a truncated or bit-corrupted dump.
+    Corrupt {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::NoClasses => {
+                write!(f, "dataset declared with zero classes; nothing to label")
+            }
+            DataError::LabelOutOfRange {
+                index,
+                label,
+                classes,
+            } => write!(
+                f,
+                "sample {index} has label {label}, outside the declared \
+                 0..{classes} range — wrong class count or corrupt labels"
+            ),
+            DataError::Corrupt { index } => write!(
+                f,
+                "sample {index} contains non-finite values — the source \
+                 dump is truncated or corrupt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
 
 /// A training-time input perturbation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,17 +192,63 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if any label is out of range.
+    /// Panics with the [`DataError`] message if the samples are rejected
+    /// by [`Self::try_from_samples`]. Use that method (or
+    /// [`Self::from_samples_or_else`]) to recover instead.
     #[must_use]
     pub fn from_samples(samples: Vec<(Tensor, usize)>, classes: usize) -> Self {
-        assert!(samples.iter().all(|(_, l)| *l < classes), "label range");
-        Self {
+        match Self::try_from_samples(samples, classes) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating constructor for externally produced samples: rejects a
+    /// zero class count, out-of-range labels and non-finite sample values
+    /// with an error that says which sample is bad and why.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DataError`] encountered scanning the samples
+    /// in order.
+    pub fn try_from_samples(
+        samples: Vec<(Tensor, usize)>,
+        classes: usize,
+    ) -> Result<Self, DataError> {
+        if classes == 0 {
+            return Err(DataError::NoClasses);
+        }
+        for (index, (x, label)) in samples.iter().enumerate() {
+            if *label >= classes {
+                return Err(DataError::LabelOutOfRange {
+                    index,
+                    label: *label,
+                    classes,
+                });
+            }
+            if x.data().iter().any(|v| !v.is_finite()) {
+                return Err(DataError::Corrupt { index });
+            }
+        }
+        Ok(Self {
             samples,
             augment: None,
             classes,
             seed: 0x5A17,
             draws: Cell::new(0),
-        }
+        })
+    }
+
+    /// [`Self::try_from_samples`], degrading to a caller-supplied
+    /// fallback (typically one of the synthetic generators) when the
+    /// external set is missing or corrupt — the pipeline keeps running on
+    /// stand-in data instead of aborting.
+    pub fn from_samples_or_else(
+        samples: Vec<(Tensor, usize)>,
+        classes: usize,
+        fallback: impl FnOnce(DataError) -> Self,
+    ) -> Self {
+        Self::try_from_samples(samples, classes).unwrap_or_else(fallback)
     }
 
     /// A CIFAR-like synthetic image dataset: `classes` class prototypes of
@@ -382,10 +478,14 @@ mod tests {
         let mut correct = 0;
         for i in 0..d.len() {
             let (x, label) = d.sample(i);
-            let best = protos
+            // No prototypes means the probe cannot classify; count the
+            // sample as a miss and let the margin assert below report it.
+            let Some(best) = protos
                 .iter()
                 .min_by(|a, b| dist(&a.0, &x).total_cmp(&dist(&b.0, &x)))
-                .expect("protos");
+            else {
+                continue;
+            };
             if best.1 == label {
                 correct += 1;
             }
@@ -399,5 +499,41 @@ mod tests {
             .zip(b.data())
             .map(|(x, y)| (x - y) * (x - y))
             .sum()
+    }
+
+    #[test]
+    fn try_from_samples_rejects_bad_inputs_with_clear_messages() {
+        let t = || Tensor::from_vec(&[1, 2, 2], vec![0.0; 4]);
+        let err = Dataset::try_from_samples(vec![(t(), 0)], 0).expect_err("no classes");
+        assert_eq!(err, DataError::NoClasses);
+        let err = Dataset::try_from_samples(vec![(t(), 0), (t(), 7)], 3).expect_err("label");
+        assert_eq!(
+            err,
+            DataError::LabelOutOfRange {
+                index: 1,
+                label: 7,
+                classes: 3
+            }
+        );
+        assert!(err.to_string().contains("label 7"), "message: {err}");
+        let bad = Tensor::from_vec(&[1, 1, 2], vec![1.0, f32::NAN]);
+        let err = Dataset::try_from_samples(vec![(t(), 0), (bad, 1)], 3).expect_err("nan");
+        assert_eq!(err, DataError::Corrupt { index: 1 });
+        assert!(err.to_string().contains("corrupt"), "message: {err}");
+        // Valid samples still come through.
+        let d = Dataset::try_from_samples(vec![(t(), 0), (t(), 2)], 3).expect("valid");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.classes(), 3);
+    }
+
+    #[test]
+    fn corrupt_external_set_degrades_to_synthetic_fallback() {
+        let bad = Tensor::from_vec(&[1, 1, 2], vec![f32::INFINITY, 0.0]);
+        let d = Dataset::from_samples_or_else(vec![(bad, 0)], 2, |e| {
+            assert_eq!(e, DataError::Corrupt { index: 0 });
+            Dataset::synth_images(2, 3, 8, 1)
+        });
+        assert_eq!(d.len(), 6, "pipeline keeps running on the stand-in");
+        assert_eq!(d.classes(), 2);
     }
 }

@@ -7,10 +7,46 @@
 //! it are trustworthy) over speed; the experiment binaries run in release
 //! mode where this is fast enough for the paper's scaled workloads.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::tensor::Tensor;
+
+/// Error returned by [`Layer::backward`] when a layer is asked to
+/// backpropagate without the caches a training forward pass would have
+/// filled — the recoverable replacement for the old
+/// `expect("forward_train first")` panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackwardError {
+    layer: &'static str,
+}
+
+impl BackwardError {
+    fn missing(layer: &'static str) -> Self {
+        Self { layer }
+    }
+
+    /// The layer kind whose forward cache was empty.
+    #[must_use]
+    pub fn layer(&self) -> &'static str {
+        self.layer
+    }
+}
+
+impl fmt::Display for BackwardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backward called on a {} layer with no forward cache; \
+             run forward_train first",
+            self.layer
+        )
+    }
+}
+
+impl std::error::Error for BackwardError {}
 
 /// A 2-D convolution with square kernels, stride and zero padding.
 #[derive(Debug, Clone)]
@@ -100,8 +136,10 @@ impl Conv2d {
         Tensor::from_vec(&os, out)
     }
 
-    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
-        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Result<Tensor, BackwardError> {
+        let Some(x) = self.cache_in.as_ref().cloned() else {
+            return Err(BackwardError::missing("Conv2d"));
+        };
         let [out_ch, in_ch, k, _] = *self.weights.shape() else {
             unreachable!()
         };
@@ -138,7 +176,7 @@ impl Conv2d {
                 }
             }
         }
-        grad_x
+        Ok(grad_x)
     }
 }
 
@@ -246,8 +284,10 @@ impl DwConv2d {
         Tensor::from_vec(&os, y)
     }
 
-    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
-        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Result<Tensor, BackwardError> {
+        let Some(x) = self.cache_in.as_ref().cloned() else {
+            return Err(BackwardError::missing("DwConv2d"));
+        };
         let [ch, k, _] = *self.weights.shape() else {
             unreachable!()
         };
@@ -281,7 +321,7 @@ impl DwConv2d {
                 }
             }
         }
-        grad_x
+        Ok(grad_x)
     }
 }
 
@@ -325,6 +365,23 @@ impl Dense {
         let bias = self.bias.data();
         let xdata = x.data();
         let mut y = vec![0.0f32; out];
+        if xdata.iter().any(|v| v.is_nan()) {
+            // Poisoned input (e.g. after a fault injection): skip NaN
+            // lanes so one bad activation degrades the reduction instead
+            // of wiping out every logit. Clean inputs never reach this
+            // path, so the nominal result stays bit-identical.
+            for (o, slot) in y.iter_mut().enumerate() {
+                let row = &wdata[o * input..(o + 1) * input];
+                let mut acc = bias[o];
+                for (wv, xv) in row.iter().zip(xdata) {
+                    if !xv.is_nan() {
+                        acc += wv * xv;
+                    }
+                }
+                *slot = acc;
+            }
+            return Tensor::from_vec(&[out], y);
+        }
         // One output row per weight row; banded across threads for wide
         // layers, serial below the parallel cutoff.
         nga_kernels::for_each_band(&mut y, out, 1, |rows, band| {
@@ -336,8 +393,10 @@ impl Dense {
         Tensor::from_vec(&[out], y)
     }
 
-    fn backward_impl(&mut self, grad_y: &Tensor) -> Tensor {
-        let x = self.cache_in.as_ref().expect("forward_train first").clone();
+    fn backward_impl(&mut self, grad_y: &Tensor) -> Result<Tensor, BackwardError> {
+        let Some(x) = self.cache_in.as_ref().cloned() else {
+            return Err(BackwardError::missing("Dense"));
+        };
         let [out, input] = *self.weights.shape() else {
             unreachable!()
         };
@@ -350,7 +409,7 @@ impl Dense {
                 grad_x.data_mut()[i] += g * self.weights.data()[o * input + i];
             }
         }
-        grad_x
+        Ok(grad_x)
     }
 }
 
@@ -506,34 +565,41 @@ impl Layer {
     /// Backward pass: consumes the gradient w.r.t. the output, returns the
     /// gradient w.r.t. the input, accumulating parameter gradients.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`Self::forward_train`] has not been called.
-    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+    /// Returns [`BackwardError`] (and leaves parameter gradients of this
+    /// layer untouched) if [`Self::forward_train`] has not been called.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, BackwardError> {
         match self {
             Layer::Conv2d(c) => c.backward_impl(grad),
             Layer::DwConv2d(c) => c.backward_impl(grad),
             Layer::Dense(d) => d.backward_impl(grad),
             Layer::Relu { mask } => {
-                let mask = mask.as_ref().expect("forward_train first");
+                let Some(mask) = mask.as_ref() else {
+                    return Err(BackwardError::missing("Relu"));
+                };
                 let data = grad
                     .data()
                     .iter()
                     .zip(mask)
                     .map(|(&g, &m)| if m { g } else { 0.0 })
                     .collect();
-                Tensor::from_vec(grad.shape(), data)
+                Ok(Tensor::from_vec(grad.shape(), data))
             }
             Layer::MaxPool2 { cache } => {
-                let (arg, in_shape) = cache.as_ref().expect("forward_train first");
+                let Some((arg, in_shape)) = cache.as_ref() else {
+                    return Err(BackwardError::missing("MaxPool2"));
+                };
                 let mut gx = Tensor::zeros(&[in_shape[0], in_shape[1], in_shape[2]]);
                 for (i, &src) in arg.iter().enumerate() {
                     gx.data_mut()[src] += grad.data()[i];
                 }
-                gx
+                Ok(gx)
             }
             Layer::GlobalAvgPool { cache } => {
-                let (h, w) = cache.expect("forward_train first");
+                let Some((h, w)) = *cache else {
+                    return Err(BackwardError::missing("GlobalAvgPool"));
+                };
                 let ch = grad.len();
                 let mut gx = Tensor::zeros(&[ch, h, w]);
                 let scale = 1.0 / (h * w) as f32;
@@ -545,24 +611,26 @@ impl Layer {
                         }
                     }
                 }
-                gx
+                Ok(gx)
             }
             Layer::Flatten { cache } => {
-                let shape = cache.clone().expect("forward_train first");
+                let Some(shape) = cache.clone() else {
+                    return Err(BackwardError::missing("Flatten"));
+                };
                 let mut g = grad.clone();
                 g.reshape(&shape);
-                g
+                Ok(g)
             }
             Layer::Residual(r) => {
                 let mut g_main = grad.clone();
                 for l in r.main.iter_mut().rev() {
-                    g_main = l.backward(&g_main);
+                    g_main = l.backward(&g_main)?;
                 }
                 let mut g_short = grad.clone();
                 for l in r.shortcut.iter_mut().rev() {
-                    g_short = l.backward(&g_short);
+                    g_short = l.backward(&g_short)?;
                 }
-                g_main.add(&g_short)
+                Ok(g_main.add(&g_short))
             }
         }
     }
@@ -696,11 +764,18 @@ impl Network {
     }
 
     /// Backward pass from the loss gradient at the output.
-    pub fn backward(&mut self, grad: &Tensor) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackwardError`] if any layer is missing its forward
+    /// cache ([`Self::forward_train`] was not called); layers earlier in
+    /// the network keep their gradients untouched in that case.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<(), BackwardError> {
         let mut g = grad.clone();
         for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+            g = l.backward(&g)?;
         }
+        Ok(())
     }
 
     /// SGD step over all layers.
@@ -739,6 +814,11 @@ fn sgd(w: &mut Tensor, g: &mut Tensor, v: &mut Tensor, lr: f32, momentum: f32) {
     }
 }
 
+/// 2×2 max pooling, NaN-aware: poisoned (NaN) lanes are skipped so a
+/// single upset does not take over the window via comparison semantics,
+/// and an all-NaN window degrades to 0.0 (routing its gradient to the
+/// first lane). Windows without NaNs behave bit-identically to a plain
+/// max reduction.
 fn max_pool2_forward(x: &Tensor) -> (Tensor, Vec<usize>, Vec<usize>) {
     let (ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let (oh, ow) = (h / 2, w / 2);
@@ -748,18 +828,23 @@ fn max_pool2_forward(x: &Tensor) -> (Tensor, Vec<usize>, Vec<usize>) {
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut best = f32::NEG_INFINITY;
-                let mut best_idx = 0;
+                let mut best_idx = (c * h + 2 * oy) * w + 2 * ox;
+                let mut seen = false;
                 for dy in 0..2 {
                     for dx in 0..2 {
                         let (iy, ix) = (2 * oy + dy, 2 * ox + dx);
                         let v = x.at3(c, iy, ix);
-                        if v > best {
+                        if v.is_nan() {
+                            continue;
+                        }
+                        if !seen || v > best {
                             best = v;
                             best_idx = (c * h + iy) * w + ix;
+                            seen = true;
                         }
                     }
                 }
-                *y.at3_mut(c, oy, ox) = best;
+                *y.at3_mut(c, oy, ox) = if seen { best } else { 0.0 };
                 arg[(c * oh + oy) * ow + ox] = best_idx;
             }
         }
@@ -767,17 +852,27 @@ fn max_pool2_forward(x: &Tensor) -> (Tensor, Vec<usize>, Vec<usize>) {
     (y, arg, vec![ch, h, w])
 }
 
+/// Global average pooling, NaN-aware: poisoned lanes are skipped and the
+/// mean is taken over the surviving lanes (an all-NaN plane degrades to
+/// 0.0). With no NaNs present the divisor is `h * w`, so the nominal
+/// result is bit-identical to the plain mean.
 fn global_avg_forward(x: &Tensor) -> Tensor {
     let (ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let mut y = Tensor::zeros(&[ch]);
     for c in 0..ch {
         let mut sum = 0.0;
+        let mut lanes = 0usize;
         for yy in 0..h {
             for xx in 0..w {
-                sum += x.at3(c, yy, xx);
+                let v = x.at3(c, yy, xx);
+                if v.is_nan() {
+                    continue;
+                }
+                sum += v;
+                lanes += 1;
             }
         }
-        y.data_mut()[c] = sum / (h * w) as f32;
+        y.data_mut()[c] = if lanes == 0 { 0.0 } else { sum / lanes as f32 };
     }
     y
 }
@@ -843,7 +938,7 @@ mod tests {
         // Loss = sum of outputs; grad_out = ones.
         let y = layer.forward_train(&x);
         let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
-        let gx = layer.backward(&ones);
+        let gx = layer.backward(&ones).expect("cache was filled");
         // Finite difference on one input element.
         let eps = 1e-3;
         for idx in [0usize, 5, 15] {
@@ -870,7 +965,7 @@ mod tests {
         let x = Tensor::from_vec(&[4], vec![0.5, -1.0, 2.0, 0.1]);
         let y = layer.forward_train(&x);
         let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
-        let _ = layer.backward(&ones);
+        layer.backward(&ones).expect("cache was filled");
         let Layer::Dense(d) = &layer else {
             unreachable!()
         };
@@ -932,7 +1027,7 @@ mod tests {
                 let logits = net.forward_train(x);
                 let (l, grad) = crate::train::softmax_xent(&logits, *label);
                 loss += l;
-                net.backward(&grad);
+                net.backward(&grad).expect("caches were filled");
                 net.step(0.1, 0.9);
             }
             last_loss = loss;
@@ -940,5 +1035,75 @@ mod tests {
         assert!(last_loss < 0.05, "converged, loss {last_loss}");
         assert_eq!(net.forward(&data[0].0).argmax(), 0);
         assert_eq!(net.forward(&data[1].0).argmax(), 1);
+    }
+
+    #[test]
+    fn backward_without_forward_cache_is_an_error_not_a_panic() {
+        let mut rng = rng();
+        let fresh: Vec<(Layer, &str)> = vec![
+            (Layer::Conv2d(Conv2d::new(&mut rng, 1, 1, 3, 1, 1)), "Conv2d"),
+            (
+                Layer::DwConv2d(DwConv2d::new(&mut rng, 1, 3, 1, 1)),
+                "DwConv2d",
+            ),
+            (Layer::Dense(Dense::new(&mut rng, 2, 2)), "Dense"),
+            (Layer::relu(), "Relu"),
+            (Layer::max_pool2(), "MaxPool2"),
+            (Layer::global_avg_pool(), "GlobalAvgPool"),
+            (Layer::flatten(), "Flatten"),
+        ];
+        let g = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        for (mut layer, name) in fresh {
+            let err = layer.backward(&g).expect_err("no cache yet");
+            assert_eq!(err.layer(), name);
+            assert!(err.to_string().contains("forward_train"), "message: {err}");
+        }
+        // A residual surfaces the inner layer's error.
+        let mut res = Layer::Residual(Residual {
+            main: vec![Layer::relu()],
+            shortcut: vec![],
+        });
+        assert_eq!(res.backward(&g).expect_err("inner cache").layer(), "Relu");
+    }
+
+    #[test]
+    fn max_pool_skips_poisoned_lanes() {
+        // One NaN lane: the max over the remaining lanes wins.
+        let x = Tensor::from_vec(&[1, 2, 2], vec![f32::NAN, 2.0, 3.0, -4.0]);
+        assert_eq!(Layer::max_pool2().forward(&x).data(), &[3.0]);
+        // All-NaN window degrades to 0.0 instead of -inf or NaN.
+        let x = Tensor::from_vec(&[1, 2, 2], vec![f32::NAN; 4]);
+        assert_eq!(Layer::max_pool2().forward(&x).data(), &[0.0]);
+        // Backward through an all-NaN window routes to the first lane and
+        // does not panic.
+        let mut pool = Layer::max_pool2();
+        let _ = pool.forward_train(&x);
+        let gx = pool
+            .backward(&Tensor::from_vec(&[1, 1, 1], vec![1.0]))
+            .expect("cache was filled");
+        assert_eq!(gx.data(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_skips_poisoned_lanes() {
+        let x = Tensor::from_vec(&[2, 1, 2], vec![1.0, f32::NAN, 2.0, 4.0]);
+        let y = Layer::global_avg_pool().forward(&x);
+        assert_eq!(y.data(), &[1.0, 3.0], "NaN lane skipped; clean mean exact");
+        let all_nan = Tensor::from_vec(&[1, 1, 2], vec![f32::NAN, f32::NAN]);
+        assert_eq!(Layer::global_avg_pool().forward(&all_nan).data(), &[0.0]);
+    }
+
+    #[test]
+    fn dense_skips_poisoned_lanes() {
+        let mut d = Dense::new(&mut rng(), 1, 3);
+        d.weights = Tensor::from_vec(&[1, 3], vec![1.0, 10.0, 100.0]);
+        d.bias = Tensor::from_vec(&[1], vec![0.5]);
+        let layer = Layer::Dense(d);
+        let poisoned = Tensor::from_vec(&[3], vec![1.0, f32::NAN, 2.0]);
+        let y = layer.forward(&poisoned);
+        assert_eq!(y.data(), &[0.5 + 1.0 + 200.0], "NaN lane dropped");
+        // Clean inputs take the nominal kernel path.
+        let clean = Tensor::from_vec(&[3], vec![1.0, 0.0, 2.0]);
+        assert_eq!(layer.forward(&clean).data(), &[0.5 + 1.0 + 200.0]);
     }
 }

@@ -22,7 +22,11 @@
 //!   DESIGN.md §3.2), with the paper's two augmentations (random flip;
 //!   10 % background noise),
 //! - the paper's model zoo at full scale for Table I parameter/MAC
-//!   accounting, plus width-reduced trainable variants ([`models`]).
+//!   accounting, plus width-reduced trainable variants ([`models`]),
+//! - graceful degradation under injected faults ([`robust`]): verified
+//!   lookup-table matmul that falls back to the scalar tier on checksum
+//!   mismatch, NaN-aware pooling/dense reductions in [`layers`], and the
+//!   poisoning metric used by the `nga-faults` harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod layers;
 pub mod metrics;
 pub mod models;
 pub mod quant;
+pub mod robust;
 pub mod train;
 
 mod tensor;

@@ -245,7 +245,7 @@ mod tests {
         );
         let y = layer.forward_train(&x);
         let ones = crate::tensor::Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
-        let gx = layer.backward(&ones);
+        let gx = layer.backward(&ones).expect("cache was filled");
         let eps = 1e-3;
         for idx in [0usize, 9, 31] {
             let mut xp = x.clone();

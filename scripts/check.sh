@@ -15,4 +15,17 @@ cargo run -q --release -p nga-lint -- --json
 # `nga-oracle --json` without --quick, ~2^33 cases) maintains
 # ORACLE_REPORT.json.
 cargo run -q --release -p nga-oracle -- --quick --json --quiet
+# Fault-injection quick sweep: exercises the NaR/saturation degradation
+# paths and the checksum-verified LUT fallback (exit nonzero if any
+# corrupted table fails to recover). Run twice into a scratch copy to
+# prove the report is byte-deterministic, then refresh the committed
+# FAULTS_REPORT.quick.json. The full sweep (`nga-faults --json`)
+# maintains FAULTS_REPORT.json.
+cargo run -q --release -p nga-faults -- --quick --json FAULTS_REPORT.quick.json --quiet >/dev/null
+cargo run -q --release -p nga-faults -- --quick --json FAULTS_REPORT.quick.json.rerun --quiet >/dev/null
+cmp FAULTS_REPORT.quick.json FAULTS_REPORT.quick.json.rerun || {
+    echo "nga-faults: quick report is not byte-deterministic" >&2
+    exit 1
+}
+rm -f FAULTS_REPORT.quick.json.rerun
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,86 @@
+//! Vendored SplitMix64 — the harness's only randomness source.
+//!
+//! Fault locations must be a pure function of the seed so two runs of
+//! the same sweep produce byte-identical reports; nothing here touches
+//! host entropy, time, or environment.
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny, high-quality, splittable
+/// generator. Integer-only — rates are compared in parts per million.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Golden-ratio increment; also used to derive per-task streams.
+    pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// A decorrelated stream for subtask `index` of this seed.
+    #[must_use]
+    pub fn stream(seed: u64, index: u64) -> Self {
+        Self::new(seed ^ index.wrapping_mul(Self::GAMMA).rotate_left(17))
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `rate_ppm` / 1 000 000.
+    pub fn hit(&mut self, rate_ppm: u32) -> bool {
+        // Modulo bias at 2^64 / 1e6 is ~5e-14 — irrelevant for fault
+        // sampling, and determinism is all that actually matters here.
+        self.next_u64() % 1_000_000 < u64::from(rate_ppm)
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let mut c = SplitMix64::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn hit_rate_tracks_ppm() {
+        let mut rng = SplitMix64::new(42);
+        let hits = (0..100_000).filter(|_| rng.hit(100_000)).count();
+        // 10 % nominal; a loose band is enough.
+        assert!((8_000..12_000).contains(&hits), "hits {hits}");
+        let mut rng = SplitMix64::new(42);
+        assert_eq!((0..1000).filter(|_| rng.hit(0)).count(), 0);
+        let mut rng = SplitMix64::new(42);
+        assert_eq!((0..1000).filter(|_| rng.hit(1_000_000)).count(), 1000);
+    }
+
+    #[test]
+    fn streams_decorrelate() {
+        let mut s0 = SplitMix64::stream(7, 0);
+        let mut s1 = SplitMix64::stream(7, 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+}
