@@ -5,7 +5,7 @@
 //! (both `x in strategy` and `x: Type` parameter forms, plus
 //! `#![proptest_config(..)]`), [`strategy::Strategy`] with `prop_map`,
 //! range/tuple/[`strategy::Just`] strategies, [`collection::vec`],
-//! [`sample::select`], [`prop_oneof!`], `any::<T>()` and the
+//! [`sample::select`], `prop_oneof!`, `any::<T>()` and the
 //! `prop_assert*` macros.
 //!
 //! Semantics are plain random testing: every case draws fresh values from
@@ -141,7 +141,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among same-typed strategies (built by [`prop_oneof!`]).
+    /// Uniform choice among same-typed strategies (built by `prop_oneof!`).
     #[derive(Debug, Clone)]
     pub struct Union<S> {
         arms: Vec<S>,

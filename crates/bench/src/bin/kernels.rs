@@ -6,6 +6,10 @@
 //! `BENCH_kernels.json` (machine-readable, checked into the repo so the
 //! README's Performance section has provenance).
 //!
+//! `--tier=scalar|table|parallel` selects the context tier reported in
+//! the header (the A/B columns always measure all tiers); without it the
+//! context falls back to the documented environment default.
+//!
 //! Environment: `NGA_BENCH_MS` sets the per-case measurement window
 //! (default 300 ms), `NGA_THREADS` caps the parallel tier's workers.
 
@@ -13,8 +17,8 @@ use std::time::Instant;
 
 use nga_bench::{banner, print_table};
 use nga_kernels::{
-    default_kernel, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel,
-    num_threads, Format8, LutOp,
+    matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel, num_threads,
+    ArithCtx, Format8, KernelTier, LutOp,
 };
 
 /// Times `f` repeatedly inside the measurement window; returns the best
@@ -116,11 +120,25 @@ fn fmt_ops(ops: f64) -> String {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    // Build the context first, then report *its* effective tier — not a
+    // separate environment read that could disagree with what runs.
+    let mut ctx = ArithCtx::labeled("bench:kernels");
+    for arg in std::env::args() {
+        if let Some(t) = arg.strip_prefix("--tier=") {
+            match KernelTier::parse(t) {
+                Some(tier) => ctx = ctx.with_tier(tier),
+                None => {
+                    eprintln!("unknown tier {t:?} (expected scalar|table|parallel)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     banner("Kernel tiers — scalar vs table vs table+parallel");
     println!(
-        "worker threads: {}, NGA_KERNEL selection: {}\n",
+        "worker threads: {}, context tier: {}\n",
         num_threads(),
-        default_kernel().name()
+        ctx.tier()
     );
 
     let (m, k, n) = (48, 64, 48);

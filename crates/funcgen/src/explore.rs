@@ -38,6 +38,7 @@ pub fn explore<P: Clone, I>(
 where
     I: IntoIterator<Item = P>,
 {
+    let _span = nga_obs::span("funcgen:explore");
     let mut all: Vec<Candidate<P>> = params
         .into_iter()
         .map(|p| {
@@ -49,6 +50,8 @@ where
             }
         })
         .collect();
+    // One `ops` tick per evaluated candidate: exploration effort.
+    nga_obs::record(|c| c.ops = c.ops.saturating_add(all.len() as u64));
     all.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.max_ulp.total_cmp(&b.max_ulp)));
 
     let best = all.iter().find(|c| c.max_ulp <= target_ulp).cloned();

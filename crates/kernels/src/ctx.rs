@@ -1,0 +1,227 @@
+//! [`ArithCtx`]: the one entry point for instrumented 8-bit arithmetic.
+//!
+//! Before this type, callers juggled three surfaces — bare scalar ops
+//! (`Format8::mul_scalar`), event-returning variants
+//! (`mul_scalar_events`), and per-tier status matmuls
+//! (`matmul8_status_*`) — and tier selection leaked through the
+//! `NGA_KERNEL` environment variable at every call site. An `ArithCtx`
+//! owns all three concerns: an explicit [`KernelTier`], sticky
+//! [`StatusCounters`], and an observability span that every operation
+//! reports into.
+
+use crate::format8::Format8;
+use crate::kernel::{Kernel, KernelTier};
+use crate::status::{Event8, StatusCounters};
+
+/// An arithmetic context: kernel-tier selection + sticky status +
+/// trace scope, in one value.
+///
+/// * **Tier** — set explicitly with [`with_tier`](Self::with_tier);
+///   [`new`](Self::new) starts from the documented `NGA_KERNEL`
+///   environment fallback ([`KernelTier::from_env`]).
+/// * **Status** — every op folds its [`Event8`] into the context's
+///   [`StatusCounters`]; [`events`](Self::events) is the sticky union,
+///   IEEE-flag style.
+/// * **Trace** — the context opens an `nga-obs` span at construction and
+///   attributes its ops there, so a [`nga_obs::snapshot`] breaks work
+///   down by context label.
+///
+/// ```
+/// use nga_kernels::{ArithCtx, Event8, Format8, KernelTier};
+///
+/// let mut ctx = ArithCtx::new().with_tier(KernelTier::Table);
+/// assert_eq!(ctx.tier(), KernelTier::Table);
+///
+/// // Scalar ops: same codes as Format8::mul_scalar_events, status kept.
+/// let one = 0x40; // posit8 1.0
+/// assert_eq!(ctx.mul(Format8::Posit8, one, one), one);
+///
+/// // Tensor ops: dispatched through the selected tier.
+/// let a = vec![one; 4];
+/// let mut out = vec![0u8; 4];
+/// ctx.matmul8(Format8::Posit8, &a, &a, &mut out, 2, 2, 2);
+/// assert_eq!(out, vec![0x60; 4]); // each dot product is 1·1 + 1·1 = 2.0
+///
+/// assert_eq!(ctx.counters().ops(), 1 + 2 * 8); // 1 mul + 8 MACs × 2 ops
+/// assert!(!ctx.events().contains(Event8::NAR_NAN));
+/// ```
+#[derive(Debug)]
+pub struct ArithCtx {
+    tier: KernelTier,
+    counters: StatusCounters,
+    span: nga_obs::Span,
+}
+
+impl ArithCtx {
+    /// A context labeled `"ctx"` on the tier from the documented
+    /// `NGA_KERNEL` environment fallback.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::labeled("ctx")
+    }
+
+    /// A context whose trace scope is named `label` (useful when several
+    /// contexts coexist and the trace should tell them apart).
+    #[must_use]
+    pub fn labeled(label: &str) -> Self {
+        Self {
+            tier: KernelTier::from_env(),
+            counters: StatusCounters::new(),
+            span: nga_obs::span(label),
+        }
+    }
+
+    /// Builder: selects the execution tier explicitly, overriding the
+    /// environment fallback.
+    ///
+    /// ```
+    /// use nga_kernels::{ArithCtx, KernelTier};
+    /// let ctx = ArithCtx::new().with_tier(KernelTier::Scalar);
+    /// assert_eq!(ctx.kernel().name(), "scalar");
+    /// ```
+    #[must_use]
+    pub fn with_tier(mut self, tier: KernelTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The effective execution tier.
+    #[must_use]
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// The effective tier's kernel vtable.
+    #[must_use]
+    pub fn kernel(&self) -> &'static dyn Kernel {
+        self.tier.kernel()
+    }
+
+    /// The sticky status counters accumulated by every op so far.
+    #[must_use]
+    pub fn counters(&self) -> &StatusCounters {
+        &self.counters
+    }
+
+    /// The sticky event union: every event any op has raised.
+    #[must_use]
+    pub fn events(&self) -> Event8 {
+        self.counters.union()
+    }
+
+    /// Clears the sticky status (the trace registry is unaffected).
+    pub fn reset_status(&mut self) {
+        self.counters = StatusCounters::new();
+    }
+
+    /// Bit-exact scalar multiply on raw codes; folds the raised events
+    /// into the sticky status and the context's trace scope.
+    #[must_use]
+    pub fn mul(&mut self, fmt: Format8, a: u8, b: u8) -> u8 {
+        let (r, ev) = fmt.mul_scalar_events(a, b);
+        self.counters.record(ev);
+        nga_obs::record_at(self.span.path(), |c| {
+            c.muls = c.muls.saturating_add(1);
+            c.ops = c.ops.saturating_add(1);
+            c.add_event_bits(ev.bits());
+        });
+        r
+    }
+
+    /// Bit-exact scalar add on raw codes; folds the raised events into
+    /// the sticky status and the context's trace scope.
+    #[must_use]
+    pub fn add(&mut self, fmt: Format8, a: u8, b: u8) -> u8 {
+        let (r, ev) = fmt.add_scalar_events(a, b);
+        self.counters.record(ev);
+        nga_obs::record_at(self.span.path(), |c| {
+            c.adds = c.adds.saturating_add(1);
+            c.ops = c.ops.saturating_add(1);
+            c.add_event_bits(ev.bits());
+        });
+        r
+    }
+
+    /// `out = a · b` over 8-bit format codes through the selected tier.
+    /// Output codes are identical across tiers; the per-call counters are
+    /// returned and also merged into the sticky status and trace scope.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul8(
+        &mut self,
+        fmt: Format8,
+        a: &[u8],
+        b: &[u8],
+        out: &mut [u8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> StatusCounters {
+        let s = self.tier.kernel().matmul8_status(fmt, a, b, out, m, k, n);
+        self.counters.merge(&s);
+        nga_obs::record_at(self.span.path(), |c| s.fold_into_obs(c));
+        s
+    }
+
+    /// `out = a · b` over f32 through the selected tier.
+    pub fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        self.tier.kernel().matmul_f32(a, b, out, m, k, n);
+    }
+}
+
+impl Default for ArithCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ops_match_event_surface_and_stick() {
+        let mut ctx = ArithCtx::labeled("ctx-test-scalar").with_tier(KernelTier::Scalar);
+        for fmt in Format8::ALL {
+            for (a, b) in [(0x01u8, 0x7Fu8), (0x80, 0x80), (0x40, 0x40)] {
+                let (want_m, _) = fmt.mul_scalar_events(a, b);
+                let (want_a, _) = fmt.add_scalar_events(a, b);
+                assert_eq!(ctx.mul(fmt, a, b), want_m, "{} mul", fmt.id());
+                assert_eq!(ctx.add(fmt, a, b), want_a, "{} add", fmt.id());
+            }
+        }
+        assert_eq!(ctx.counters().ops(), 4 * 3 * 2);
+        // Q4.4 0x7F * 0x7F saturates, so the sticky union has SATURATED.
+        assert!(ctx.events().contains(Event8::SATURATED));
+        ctx.reset_status();
+        assert_eq!(ctx.counters().ops(), 0);
+        assert!(ctx.events().is_empty());
+    }
+
+    #[test]
+    fn matmul_is_tier_invariant_and_merges_status() {
+        let (m, k, n) = (4, 6, 5);
+        let a: Vec<u8> = (0..m * k).map(|i| (i * 53 + 7) as u8).collect();
+        let b: Vec<u8> = (0..k * n).map(|i| (i * 29 + 1) as u8).collect();
+        for fmt in Format8::ALL {
+            let mut want = vec![0u8; m * n];
+            let want_s = crate::tensor::status_scalar(fmt, &a, &b, &mut want, m, k, n);
+            for tier in KernelTier::ALL {
+                let mut ctx = ArithCtx::labeled("ctx-test-mm").with_tier(tier);
+                let mut out = vec![0u8; m * n];
+                let s = ctx.matmul8(fmt, &a, &b, &mut out, m, k, n);
+                assert_eq!(out, want, "{} {}", fmt.id(), tier);
+                assert_eq!(s, want_s, "{} {} counters", fmt.id(), tier);
+                assert_eq!(*ctx.counters(), want_s, "sticky = per-call on first op");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_matmul_dispatches() {
+        let ctx = ArithCtx::labeled("ctx-test-f32").with_tier(KernelTier::Parallel);
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = [0.0f32; 4];
+        ctx.matmul_f32(&a, &a, &mut out, 2, 2, 2);
+        assert_eq!(out, [7.0, 10.0, 15.0, 22.0]);
+    }
+}

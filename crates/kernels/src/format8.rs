@@ -59,14 +59,22 @@ impl Format8 {
         }
     }
 
-    /// Bit-exact scalar multiply on raw codes (the table seed).
+    /// Bit-exact scalar multiply on raw codes, discarding status.
     #[must_use]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ArithCtx::mul` (tracks status + trace) or `mul_scalar_events`"
+    )]
     pub fn mul_scalar(self, a: u8, b: u8) -> u8 {
         self.mul_scalar_events(a, b).0
     }
 
-    /// Bit-exact scalar add on raw codes (the table seed).
+    /// Bit-exact scalar add on raw codes, discarding status.
     #[must_use]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ArithCtx::add` (tracks status + trace) or `add_scalar_events`"
+    )]
     pub fn add_scalar(self, a: u8, b: u8) -> u8 {
         self.add_scalar_events(a, b).0
     }
@@ -182,6 +190,8 @@ fn fixed_from_code(code: u8, fmt: FixedFormat) -> Fixed {
 }
 
 #[cfg(test)]
+// The deprecated convenience shims are still part of the pinned surface.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

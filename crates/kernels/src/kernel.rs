@@ -81,7 +81,7 @@ impl Kernel for ScalarKernel {
         k: usize,
         n: usize,
     ) -> StatusCounters {
-        tensor::matmul8_status_scalar(fmt, a, b, out, m, k, n)
+        tensor::status_scalar(fmt, a, b, out, m, k, n)
     }
 }
 
@@ -121,7 +121,7 @@ impl Kernel for TableKernel {
         k: usize,
         n: usize,
     ) -> StatusCounters {
-        tensor::matmul8_status_table(fmt, a, b, out, m, k, n)
+        tensor::status_table(fmt, a, b, out, m, k, n)
     }
 }
 
@@ -161,22 +161,111 @@ impl Kernel for ParallelKernel {
         k: usize,
         n: usize,
     ) -> StatusCounters {
-        tensor::matmul8_status_parallel(fmt, a, b, out, m, k, n)
+        tensor::status_parallel(fmt, a, b, out, m, k, n)
+    }
+}
+
+/// An execution tier as a first-class value: the explicit way to pick a
+/// kernel, replacing ambient `NGA_KERNEL` reads scattered across callers.
+///
+/// Construct one directly, [`parse`](Self::parse) it from a CLI argument,
+/// or take the documented environment fallback via
+/// [`from_env`](Self::from_env) — then hand it to
+/// [`ArithCtx::with_tier`](crate::ArithCtx::with_tier) or fetch the
+/// vtable with [`kernel`](Self::kernel).
+///
+/// ```
+/// use nga_kernels::KernelTier;
+/// assert_eq!(KernelTier::parse("table"), Some(KernelTier::Table));
+/// assert_eq!(KernelTier::Table.kernel().name(), "table");
+/// assert_eq!(KernelTier::default(), KernelTier::Parallel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Decode/compute/encode through the reference scalar ops.
+    Scalar,
+    /// One 64 KiB lookup per multiply/add, serial.
+    Table,
+    /// Lookup tables plus scoped-thread row bands.
+    Parallel,
+}
+
+impl KernelTier {
+    /// All tiers, in escalation order.
+    pub const ALL: [Self; 3] = [Self::Scalar, Self::Table, Self::Parallel];
+
+    /// Stable tier name (matches [`Kernel::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Table => "table",
+            Self::Parallel => "parallel",
+        }
+    }
+
+    /// Parses a tier name (`"scalar"` / `"table"` / `"parallel"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(Self::Scalar),
+            "table" => Some(Self::Table),
+            "parallel" => Some(Self::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The documented environment fallback: reads `NGA_KERNEL`
+    /// (`scalar` / `table` / `parallel`; anything else, including unset,
+    /// means [`Parallel`](Self::Parallel)). This is the only place in the
+    /// workspace that reads `NGA_KERNEL` — the `ctx-single-source` lint
+    /// rule keeps it that way.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("NGA_KERNEL").as_deref() {
+            Ok("scalar") => Self::Scalar,
+            Ok("table") => Self::Table,
+            _ => Self::Parallel,
+        }
+    }
+
+    /// The tier's kernel vtable.
+    #[must_use]
+    pub fn kernel(self) -> &'static dyn Kernel {
+        static SCALAR: ScalarKernel = ScalarKernel;
+        static TABLE: TableKernel = TableKernel;
+        static PARALLEL: ParallelKernel = ParallelKernel;
+        match self {
+            Self::Scalar => &SCALAR,
+            Self::Table => &TABLE,
+            Self::Parallel => &PARALLEL,
+        }
+    }
+}
+
+impl Default for KernelTier {
+    /// [`Parallel`](Self::Parallel) — the same default the environment
+    /// fallback uses when `NGA_KERNEL` is unset.
+    fn default() -> Self {
+        Self::Parallel
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 /// The tier selected by the `NGA_KERNEL` environment variable
 /// (`scalar` / `table` / `parallel`; default `parallel`).
 #[must_use]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `KernelTier::from_env().kernel()`, or better an explicit `ArithCtx::with_tier`"
+)]
 pub fn default_kernel() -> &'static dyn Kernel {
-    static SCALAR: ScalarKernel = ScalarKernel;
-    static TABLE: TableKernel = TableKernel;
-    static PARALLEL: ParallelKernel = ParallelKernel;
-    match std::env::var("NGA_KERNEL").as_deref() {
-        Ok("scalar") => &SCALAR,
-        Ok("table") => &TABLE,
-        _ => &PARALLEL,
-    }
+    KernelTier::from_env().kernel()
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+mod ctx;
 mod format8;
 mod kernel;
 mod parallel;
@@ -31,8 +32,9 @@ mod status;
 mod table;
 mod tensor;
 
+pub use ctx::ArithCtx;
 pub use format8::Format8;
-pub use kernel::{default_kernel, Kernel, ParallelKernel, ScalarKernel, TableKernel};
+pub use kernel::{Kernel, KernelTier, ParallelKernel, ScalarKernel, TableKernel};
 pub use parallel::{for_each_band, num_threads, split_bands};
 pub use status::{Event8, StatusCounters};
 pub use table::{
@@ -40,7 +42,12 @@ pub use table::{
     MacTable, StatusOp,
 };
 pub use tensor::{
-    conv2d_f32, dot8, dot_f32, im2col, matmul8, matmul8_parallel, matmul8_scalar,
-    matmul8_status_parallel, matmul8_status_scalar, matmul8_status_table, matmul8_tables,
+    conv2d_f32, dot8, dot_f32, im2col, matmul8, matmul8_parallel, matmul8_scalar, matmul8_tables,
     matmul_f32, matmul_f32_parallel,
 };
+
+// Deprecated shims, re-exported so pre-`ArithCtx` code keeps compiling.
+#[allow(deprecated)]
+pub use kernel::default_kernel;
+#[allow(deprecated)]
+pub use tensor::{matmul8_status_parallel, matmul8_status_scalar, matmul8_status_table};

@@ -257,6 +257,20 @@ impl StatusCounters {
         ev
     }
 
+    /// Folds these counters into an observability record:
+    /// [`ops`](Self::ops) accumulates into [`nga_obs::OpCounts::ops`] and
+    /// each event count into its counterpart field.
+    pub fn fold_into_obs(&self, c: &mut nga_obs::OpCounts) {
+        c.ops = c.ops.saturating_add(self.ops);
+        c.nar_nan = c.nar_nan.saturating_add(self.nar_nan);
+        c.inexact = c.inexact.saturating_add(self.inexact);
+        c.overflow = c.overflow.saturating_add(self.overflow);
+        c.underflow = c.underflow.saturating_add(self.underflow);
+        c.div_by_zero = c.div_by_zero.saturating_add(self.div_by_zero);
+        c.saturated = c.saturated.saturating_add(self.saturated);
+        c.wrapped = c.wrapped.saturating_add(self.wrapped);
+    }
+
     /// Operations recorded.
     #[must_use]
     pub fn ops(&self) -> u64 {

@@ -108,13 +108,13 @@ static ADD_TABLES: [OnceLock<BinaryTable>; 4] = [
 /// The process-wide multiply table for `fmt` (built on first use).
 #[inline]
 pub fn mul_table(fmt: Format8) -> &'static BinaryTable {
-    MUL_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.mul_scalar(a, b)))
+    MUL_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.mul_scalar_events(a, b).0))
 }
 
 /// The process-wide addition table for `fmt` (built on first use).
 #[inline]
 pub fn add_table(fmt: Format8) -> &'static BinaryTable {
-    ADD_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.add_scalar(a, b)))
+    ADD_TABLES[fmt.index()].get_or_init(|| BinaryTable::build(|a, b| fmt.add_scalar_events(a, b).0))
 }
 
 static MUL_EVENT_TABLES: [OnceLock<BinaryTable>; 4] = [
@@ -325,6 +325,8 @@ pub fn mac_table(m: ApproxMultiplier) -> &'static MacTable {
 }
 
 #[cfg(test)]
+// Spot checks pin the deprecated convenience shims to the tables too.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

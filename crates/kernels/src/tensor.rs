@@ -12,6 +12,34 @@ use crate::parallel::{for_each_band, num_threads, split_bands};
 use crate::status::StatusCounters;
 use crate::table::{BinaryTable, LutOp, StatusOp};
 
+/// Records one matmul's worth of arithmetic against the current obs
+/// span: `m·k·n` MACs (one mul + one add each) plus `luts_per_mac`
+/// table loads per MAC. Counts are shape-derived, so the record costs
+/// one registry update per kernel call, not per element.
+fn obs_macs(m: usize, k: usize, n: usize, luts_per_mac: u64) {
+    let macs = (m as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(n as u64);
+    nga_obs::record(|c| {
+        c.muls = c.muls.saturating_add(macs);
+        c.adds = c.adds.saturating_add(macs);
+        c.lut_hits = c.lut_hits.saturating_add(macs.saturating_mul(luts_per_mac));
+    });
+}
+
+/// [`obs_macs`] plus the per-event totals from a status sweep.
+fn obs_status(m: usize, k: usize, n: usize, luts_per_mac: u64, s: &StatusCounters) {
+    let macs = (m as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(n as u64);
+    nga_obs::record(|c| {
+        c.muls = c.muls.saturating_add(macs);
+        c.adds = c.adds.saturating_add(macs);
+        c.lut_hits = c.lut_hits.saturating_add(macs.saturating_mul(luts_per_mac));
+        s.fold_into_obs(c);
+    });
+}
+
 // ---------------------------------------------------------------------
 // f32 kernels
 // ---------------------------------------------------------------------
@@ -65,6 +93,8 @@ fn matmul_f32_rows(
 /// row-major).
 pub fn matmul_f32(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul_f32:serial");
+    obs_macs(m, k, n, 0);
     matmul_f32_rows(a, b, out, 0..m, k, n);
 }
 
@@ -72,6 +102,8 @@ pub fn matmul_f32(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: 
 /// [`matmul_f32`].
 pub fn matmul_f32_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul_f32:parallel");
+    obs_macs(m, k, n, 0);
     for_each_band(out, m, n, |rows, oband| {
         matmul_f32_rows(a, b, oband, rows, k, n);
     });
@@ -155,8 +187,10 @@ pub fn conv2d_f32(
     let kdim = ch * kh * kw;
     assert_eq!(weights.len(), oc * kdim, "weights are [oc, ch*kh*kw]");
     assert_eq!(bias.len(), oc, "one bias per output channel");
+    let _span = nga_obs::span("conv2d_f32");
     let (oh, ow) = im2col(input, ch, h, w, kh, kw, stride, pad, cols);
     let npix = oh * ow;
+    obs_macs(oc, kdim, npix, 0);
     out.clear();
     out.resize(oc * npix, 0.0);
     for_each_band(out.as_mut_slice(), oc, npix, |rows, oband| {
@@ -217,6 +251,8 @@ fn matmul8_rows(
 /// Serial table-driven matrix multiply over format codes.
 pub fn matmul8(op: &LutOp, a: &[u8], b: &[u8], out: &mut [u8], m: usize, k: usize, n: usize) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:table");
+    obs_macs(m, k, n, 2);
     matmul8_rows(op, a, b, out, 0..m, k, n);
 }
 
@@ -232,6 +268,8 @@ pub fn matmul8_parallel(
     n: usize,
 ) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:parallel");
+    obs_macs(m, k, n, 2);
     for_each_band(out, m, n, |rows, oband| {
         matmul8_rows(op, a, b, oband, rows, k, n);
     });
@@ -250,6 +288,8 @@ pub fn matmul8_scalar(
     n: usize,
 ) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:scalar");
+    obs_macs(m, k, n, 0);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -257,7 +297,7 @@ pub fn matmul8_scalar(
         for (kk, &av) in arow.iter().enumerate() {
             let brow = &b[kk * n..(kk + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o = fmt.add_scalar(*o, fmt.mul_scalar(av, bv));
+                *o = fmt.add_scalar_events(*o, fmt.mul_scalar_events(av, bv).0).0;
             }
         }
     }
@@ -279,6 +319,8 @@ pub fn matmul8_tables(
     n: usize,
 ) {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:tables");
+    obs_macs(m, k, n, 2);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -330,7 +372,7 @@ fn matmul8_status_rows(
 /// Status-reporting reference matmul through the scalar event ops.
 /// Output codes equal [`matmul8_scalar`]; the returned counters record
 /// one mul and one add event per MAC.
-pub fn matmul8_status_scalar(
+pub(crate) fn status_scalar(
     fmt: Format8,
     a: &[u8],
     b: &[u8],
@@ -340,6 +382,7 @@ pub fn matmul8_status_scalar(
     n: usize,
 ) -> StatusCounters {
     check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:scalar");
     let mut counters = StatusCounters::new();
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
@@ -356,12 +399,99 @@ pub fn matmul8_status_scalar(
             }
         }
     }
+    obs_status(m, k, n, 0, &counters);
     counters
 }
 
 /// Status-reporting serial table matmul. Because the event tables are
 /// seeded from the scalar event ops, both the output codes and the
-/// counters are identical to [`matmul8_status_scalar`].
+/// counters are identical to [`status_scalar`].
+pub(crate) fn status_table(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:table");
+    // One value load + one event load per op, two ops per MAC.
+    let counters = matmul8_status_rows(&StatusOp::new(fmt), a, b, out, 0..m, k, n);
+    obs_status(m, k, n, 4, &counters);
+    counters
+}
+
+/// Status-reporting row-banded parallel table matmul. Output codes and
+/// counters are identical to the serial tiers: each band's counters are
+/// accumulated independently and merged with saturating sums, which are
+/// order-independent.
+pub(crate) fn status_parallel(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    check_matmul_shapes(a, b, out, m, k, n);
+    let _span = nga_obs::span("matmul8:parallel");
+    let op = StatusOp::new(fmt);
+    let threads = num_threads().min(m.max(1));
+    // Same serial-fallback threshold as `for_each_band`.
+    let total = if threads <= 1 || m * n < 16_384 {
+        matmul8_status_rows(&op, a, b, out, 0..m, k, n)
+    } else {
+        let bands = split_bands(m, threads);
+        let mut band_counters = vec![StatusCounters::new(); bands.len()];
+        std::thread::scope(|s| {
+            let mut rest = &mut out[..];
+            for (band, slot) in bands.iter().zip(band_counters.iter_mut()) {
+                let (head, tail) = rest.split_at_mut((band.end - band.start) * n);
+                rest = tail;
+                let band = band.clone();
+                let op = &op;
+                s.spawn(move || {
+                    *slot = matmul8_status_rows(op, a, b, head, band, k, n);
+                });
+            }
+        });
+        let mut total = StatusCounters::new();
+        for c in &band_counters {
+            total.merge(c);
+        }
+        total
+    };
+    obs_status(m, k, n, 4, &total);
+    total
+}
+
+/// Status-reporting reference matmul through the scalar event ops.
+#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ArithCtx::with_tier(KernelTier::Scalar)` and `ArithCtx::matmul8`"
+)]
+pub fn matmul8_status_scalar(
+    fmt: Format8,
+    a: &[u8],
+    b: &[u8],
+    out: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> StatusCounters {
+    status_scalar(fmt, a, b, out, m, k, n)
+}
+
+/// Status-reporting serial table matmul.
+#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ArithCtx::with_tier(KernelTier::Table)` and `ArithCtx::matmul8`"
+)]
 pub fn matmul8_status_table(
     fmt: Format8,
     a: &[u8],
@@ -371,14 +501,15 @@ pub fn matmul8_status_table(
     k: usize,
     n: usize,
 ) -> StatusCounters {
-    check_matmul_shapes(a, b, out, m, k, n);
-    matmul8_status_rows(&StatusOp::new(fmt), a, b, out, 0..m, k, n)
+    status_table(fmt, a, b, out, m, k, n)
 }
 
-/// Status-reporting row-banded parallel table matmul. Output codes and
-/// counters are identical to the serial tiers: each band's counters are
-/// accumulated independently and merged with saturating sums, which are
-/// order-independent.
+/// Status-reporting row-banded parallel table matmul.
+#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ArithCtx::with_tier(KernelTier::Parallel)` and `ArithCtx::matmul8`"
+)]
 pub fn matmul8_status_parallel(
     fmt: Format8,
     a: &[u8],
@@ -388,32 +519,7 @@ pub fn matmul8_status_parallel(
     k: usize,
     n: usize,
 ) -> StatusCounters {
-    check_matmul_shapes(a, b, out, m, k, n);
-    let op = StatusOp::new(fmt);
-    let threads = num_threads().min(m.max(1));
-    // Same serial-fallback threshold as `for_each_band`.
-    if threads <= 1 || m * n < 16_384 {
-        return matmul8_status_rows(&op, a, b, out, 0..m, k, n);
-    }
-    let bands = split_bands(m, threads);
-    let mut band_counters = vec![StatusCounters::new(); bands.len()];
-    std::thread::scope(|s| {
-        let mut rest = &mut out[..];
-        for (band, slot) in bands.iter().zip(band_counters.iter_mut()) {
-            let (head, tail) = rest.split_at_mut((band.end - band.start) * n);
-            rest = tail;
-            let band = band.clone();
-            let op = &op;
-            s.spawn(move || {
-                *slot = matmul8_status_rows(op, a, b, head, band, k, n);
-            });
-        }
-    });
-    let mut total = StatusCounters::new();
-    for c in &band_counters {
-        total.merge(c);
-    }
-    total
+    status_parallel(fmt, a, b, out, m, k, n)
 }
 
 #[cfg(test)]

@@ -4,6 +4,9 @@
 //! and the parallel tensor kernels agree with the serial ones
 //! bit-for-bit on random shapes.
 
+// The deprecated convenience shims are part of the pinned surface here.
+#![allow(deprecated)]
+
 use nga_kernels::{
     add_table, matmul8, matmul8_parallel, matmul8_scalar, matmul_f32, matmul_f32_parallel,
     mul_table, Format8, Kernel, LutOp, ParallelKernel, ScalarKernel, TableKernel,

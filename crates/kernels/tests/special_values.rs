@@ -9,6 +9,9 @@
 //! 3. the LUT tier reproduces the scalar ops bit-for-bit on every
 //!    special operand (NaR, NaN, ±inf, ±0) against all 256 partners.
 
+// The deprecated convenience shims are part of the pinned surface here.
+#![allow(deprecated)]
+
 use nga_core::{Posit, PositFormat};
 use nga_kernels::{add_table, mul_table, Format8};
 use nga_softfloat::{FloatFormat, SoftFloat};

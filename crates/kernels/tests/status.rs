@@ -2,6 +2,9 @@
 //! byte-identical output codes *and* identical event counters, and table
 //! checksums must catch injected corruption.
 
+// The deprecated convenience shims are part of the pinned surface here.
+#![allow(deprecated)]
+
 use nga_kernels::{
     matmul8_scalar, matmul8_status_parallel, matmul8_status_scalar, matmul8_status_table,
     matmul8_tables, mul_table, BinaryTable, Event8, Format8, Kernel, ParallelKernel,

@@ -242,6 +242,12 @@ impl DwConv2d {
         let wdata = self.weights.data();
         let bias = self.bias.data();
         let npix = oh * ow;
+        // Nominal MAC count (padding included), matching `Layer::macs`.
+        let macs = (ch * npix * k * k) as u64;
+        nga_obs::record(|c| {
+            c.muls = c.muls.saturating_add(macs);
+            c.adds = c.adds.saturating_add(macs);
+        });
         let mut y = vec![0.0f32; ch * npix];
         // Channels are independent: one scoped thread band per group of
         // channels. Per pixel, the valid kernel-tap window is clipped
@@ -364,6 +370,11 @@ impl Dense {
         let wdata = self.weights.data();
         let bias = self.bias.data();
         let xdata = x.data();
+        let macs = (out * input) as u64;
+        nga_obs::record(|c| {
+            c.muls = c.muls.saturating_add(macs);
+            c.adds = c.adds.saturating_add(macs);
+        });
         let mut y = vec![0.0f32; out];
         if xdata.iter().any(|v| v.is_nan()) {
             // Poisoned input (e.g. after a fault injection): skip NaN
@@ -457,6 +468,21 @@ pub enum Layer {
 }
 
 impl Layer {
+    /// Stable kind name, used as the layer's observability scope.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::DwConv2d(_) => "dwconv2d",
+            Layer::Dense(_) => "dense",
+            Layer::Relu { .. } => "relu",
+            Layer::MaxPool2 { .. } => "maxpool2",
+            Layer::GlobalAvgPool { .. } => "gapool",
+            Layer::Flatten { .. } => "flatten",
+            Layer::Residual(_) => "residual",
+        }
+    }
+
     /// Convenience: a fresh ReLU.
     #[must_use]
     pub fn relu() -> Self {
@@ -484,6 +510,7 @@ impl Layer {
     /// Inference forward pass (no caches touched).
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        let _span = nga_obs::span(self.kind());
         match self {
             Layer::Conv2d(c) => c.forward_impl(x),
             Layer::DwConv2d(c) => c.forward_impl(x),
@@ -515,6 +542,7 @@ impl Layer {
 
     /// Training forward pass (fills caches for [`Self::backward`]).
     pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let _span = nga_obs::span(self.kind());
         match self {
             Layer::Conv2d(c) => {
                 c.cache_in = Some(x.clone());
@@ -570,6 +598,7 @@ impl Layer {
     /// Returns [`BackwardError`] (and leaves parameter gradients of this
     /// layer untouched) if [`Self::forward_train`] has not been called.
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, BackwardError> {
+        let _span = nga_obs::span(self.kind());
         match self {
             Layer::Conv2d(c) => c.backward_impl(grad),
             Layer::DwConv2d(c) => c.backward_impl(grad),
@@ -747,6 +776,7 @@ impl Network {
     /// Inference forward pass.
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        let _span = nga_obs::span("nn:forward");
         let mut t = x.clone();
         for l in &self.layers {
             t = l.forward(&t);
@@ -756,6 +786,7 @@ impl Network {
 
     /// Training forward pass (caches filled).
     pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let _span = nga_obs::span("nn:forward_train");
         let mut t = x.clone();
         for l in &mut self.layers {
             t = l.forward_train(&t);
@@ -771,6 +802,7 @@ impl Network {
     /// cache ([`Self::forward_train`] was not called); layers earlier in
     /// the network keep their gradients untouched in that case.
     pub fn backward(&mut self, grad: &Tensor) -> Result<(), BackwardError> {
+        let _span = nga_obs::span("nn:backward");
         let mut g = grad.clone();
         for l in self.layers.iter_mut().rev() {
             g = l.backward(&g)?;

@@ -143,6 +143,7 @@ impl QuantizedNetwork {
     /// Forward pass with the given multiplier model.
     #[must_use]
     pub fn forward(&self, x: &Tensor, m: ApproxMultiplier) -> Tensor {
+        let _span = nga_obs::span("nn:qforward");
         let mut t = x.clone();
         for l in &self.layers {
             t = eval(l, &t, m);
@@ -240,6 +241,18 @@ fn quantize_weights(w: &[f32]) -> (Vec<i8>, f32) {
     (codes, scale)
 }
 
+/// Records the nominal MAC count of a quantized kernel (padding taps
+/// included, matching `Layer::macs`): one [`nga_kernels::MacTable`]
+/// lookup plus one exact i32 add per MAC. Called once per kernel, outside
+/// the parallel band region, so worker threads never touch the registry.
+fn record_qmacs(macs: u64) {
+    nga_obs::record(|c| {
+        c.muls = c.muls.saturating_add(macs);
+        c.adds = c.adds.saturating_add(macs);
+        c.lut_hits = c.lut_hits.saturating_add(macs);
+    });
+}
+
 /// One signed approximate MAC: `sign(w) * M(|w|, a)` — the scalar
 /// reference the [`nga_kernels::mac_table`] lookup is proven against.
 #[cfg(test)]
@@ -254,9 +267,18 @@ fn approx_mac(m: ApproxMultiplier, w: i8, a: u8) -> i32 {
 
 fn eval(l: &QLayer, x: &Tensor, m: ApproxMultiplier) -> Tensor {
     match l {
-        QLayer::Conv(c) => conv_forward(c, x, m),
-        QLayer::DwConv(c) => dwconv_forward(c, x, m),
-        QLayer::Dense(d) => dense_forward(d, x, m),
+        QLayer::Conv(c) => {
+            let _span = nga_obs::span("qconv2d");
+            conv_forward(c, x, m)
+        }
+        QLayer::DwConv(c) => {
+            let _span = nga_obs::span("qdwconv2d");
+            dwconv_forward(c, x, m)
+        }
+        QLayer::Dense(d) => {
+            let _span = nga_obs::span("qdense");
+            dense_forward(d, x, m)
+        }
         QLayer::Relu => {
             let data = x.data().iter().map(|&v| v.max(0.0)).collect();
             Tensor::from_vec(x.shape(), data)
@@ -298,6 +320,7 @@ fn conv_forward(c: &QConv, x: &Tensor, m: ApproxMultiplier) -> Tensor {
                 .sum()
         })
         .collect();
+    record_qmacs((out_ch * in_ch * k * k * npix) as u64);
     let mut y = vec![0.0f32; out_ch * npix];
     nga_kernels::for_each_band(&mut y, out_ch, npix, |ocs, band| {
         for (loc, oc) in ocs.enumerate() {
@@ -362,6 +385,7 @@ fn dwconv_forward(c: &QDwConv, x: &Tensor, m: ApproxMultiplier) -> Tensor {
                 .sum()
         })
         .collect();
+    record_qmacs((ch * k * k * npix) as u64);
     let mut y = vec![0.0f32; ch * npix];
     nga_kernels::for_each_band(&mut y, ch, npix, |chans, band| {
         for (lc, cc) in chans.enumerate() {
@@ -410,6 +434,7 @@ fn dense_forward(d: &QDense, x: &Tensor, m: ApproxMultiplier) -> Tensor {
     let xq: Vec<u8> = x.data().iter().map(|&v| d.in_q.quantize(v)).collect();
     let rescale = d.w_scale * d.in_q.scale;
     let mac = nga_kernels::mac_table(m);
+    record_qmacs((d.out * d.input) as u64);
     let mut y = vec![0.0f32; d.out];
     nga_kernels::for_each_band(&mut y, d.out, 1, |rows, band| {
         for (li, o) in rows.enumerate() {

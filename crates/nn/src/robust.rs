@@ -43,6 +43,7 @@ pub fn matmul8_verified(
     k: usize,
     n: usize,
 ) -> LutIntegrity {
+    let _span = nga_obs::span("matmul8:verified");
     if mul.verify() && add.verify() {
         matmul8_tables(mul, add, a, b, out, m, k, n);
         LutIntegrity::Verified
@@ -76,8 +77,8 @@ mod tests {
     #[test]
     fn corrupted_lut_falls_back_to_bit_identical_scalar_results() {
         let fmt = Format8::Posit8;
-        let mut mul = BinaryTable::build(|a, b| fmt.mul_scalar(a, b));
-        let add = BinaryTable::build(|a, b| fmt.add_scalar(a, b));
+        let mut mul = BinaryTable::build(|a, b| fmt.mul_scalar_events(a, b).0);
+        let add = BinaryTable::build(|a, b| fmt.add_scalar_events(a, b).0);
         let (m, k, n) = (5, 6, 4);
         let (a, b) = inputs(m, k, n);
         let mut reference = vec![0u8; m * n];

@@ -32,6 +32,7 @@ pub fn softmax_xent(logits: &Tensor, label: usize) -> (f32, Tensor) {
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    nga_obs::record(|c| c.divs = c.divs.saturating_add(probs.len() as u64));
     let loss = -(probs[label].max(1e-12)).ln();
     let mut grad = probs;
     grad[label] -= 1.0;
@@ -58,6 +59,7 @@ pub fn softmax(logits: &Tensor) -> Vec<f32> {
         .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
+    nga_obs::record(|c| c.divs = c.divs.saturating_add(exps.len() as u64));
     exps.iter().map(|&e| e / sum).collect()
 }
 
@@ -87,6 +89,7 @@ impl Default for TrainConfig {
 
 /// Plain float training on a dataset. Returns the mean loss per epoch.
 pub fn train_float(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
+    let _span = nga_obs::span("nn:train");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut losses = Vec::with_capacity(cfg.epochs);
@@ -136,6 +139,7 @@ pub fn retrain_approx(
     multiplier: ApproxMultiplier,
     cfg: &TrainConfig,
 ) -> Vec<f32> {
+    let _span = nga_obs::span("nn:retrain");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut losses = Vec::with_capacity(cfg.epochs);

@@ -1,0 +1,44 @@
+//! The `obs-off` implementation: every entry point is an empty inline
+//! function and [`Span`] is zero-sized, so instrumented call sites
+//! compile to exactly the uninstrumented code.
+
+use crate::counters::OpCounts;
+use crate::report::TraceReport;
+
+/// Zero-sized stand-in for the live span guard.
+#[must_use = "a span is closed when dropped; bind it with `let _span = ...`"]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span(());
+
+impl Span {
+    /// Always the empty path under `obs-off`.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        ""
+    }
+}
+
+/// No-op: returns a zero-sized guard.
+#[inline(always)]
+pub fn span(_name: &str) -> Span {
+    Span(())
+}
+
+/// No-op: the closure is never called.
+#[inline(always)]
+pub fn record<F: FnOnce(&mut OpCounts)>(_f: F) {}
+
+/// No-op: the closure is never called.
+#[inline(always)]
+pub fn record_at<F: FnOnce(&mut OpCounts)>(_path: &str, _f: F) {}
+
+/// Always the empty report under `obs-off`.
+#[inline(always)]
+#[must_use]
+pub fn snapshot() -> TraceReport {
+    TraceReport::default()
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset() {}

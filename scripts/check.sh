@@ -28,4 +28,16 @@ cmp FAULTS_REPORT.quick.json FAULTS_REPORT.quick.json.rerun || {
     exit 1
 }
 rm -f FAULTS_REPORT.quick.json.rerun
+# Observability trace: the quick workload's op-count/event report must be
+# byte-identical across runs (no timestamps, no thread-dependent counts).
+# Refreshes the committed TRACE_REPORT.quick.json. The full workload
+# (`nga-bench --bin trace` without --quick) maintains TRACE_REPORT.json.
+cargo run -q --release -p nga-bench --bin trace -- --quick >/dev/null
+cp TRACE_REPORT.quick.json TRACE_REPORT.quick.json.rerun
+cargo run -q --release -p nga-bench --bin trace -- --quick >/dev/null
+cmp TRACE_REPORT.quick.json TRACE_REPORT.quick.json.rerun || {
+    echo "nga-bench trace: quick report is not byte-deterministic" >&2
+    exit 1
+}
+rm -f TRACE_REPORT.quick.json.rerun
 cargo clippy --workspace -- -D warnings

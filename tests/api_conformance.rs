@@ -1,0 +1,113 @@
+//! Conformance contract for the unified `ArithCtx` surface: everything
+//! reachable through `nextgen_arith::prelude` must be bit- and
+//! event-identical to the older per-crate surfaces it replaces, so
+//! migrating a caller can never change numerics.
+//!
+//! Three layers are pinned:
+//!
+//! 1. `ArithCtx::mul`/`add` vs `Format8::{mul,add}_scalar_events` —
+//!    exhaustive over all 65 536 code pairs for every 8-bit format,
+//!    both output codes and folded event counters;
+//! 2. `ArithCtx::matmul8` vs the deprecated `matmul8_status_*` free
+//!    functions — per tier, output codes and counters;
+//! 3. the prelude itself: every re-exported item is usable from one
+//!    `use` line.
+
+// Half of this file's purpose is pinning the deprecated shims.
+#![allow(deprecated)]
+
+use nextgen_arith::prelude::*;
+
+#[allow(deprecated)]
+use nextgen_arith::kernels::{
+    matmul8_status_parallel, matmul8_status_scalar, matmul8_status_table,
+};
+
+/// Replays a scalar-op sweep through both surfaces and demands identical
+/// codes and identical sticky counters.
+#[test]
+fn ctx_scalar_ops_match_event_surface_exhaustively() {
+    for fmt in Format8::ALL {
+        let mut ctx = ArithCtx::labeled("conform:scalar").with_tier(KernelTier::Scalar);
+        let mut want = StatusCounters::new();
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let (wm, em) = fmt.mul_scalar_events(a, b);
+                let (wa, ea) = fmt.add_scalar_events(a, b);
+                want.record(em);
+                want.record(ea);
+                assert_eq!(ctx.mul(fmt, a, b), wm, "{} mul {a:#04x} {b:#04x}", fmt.id());
+                assert_eq!(ctx.add(fmt, a, b), wa, "{} add {a:#04x} {b:#04x}", fmt.id());
+            }
+        }
+        assert_eq!(*ctx.counters(), want, "{} sticky counters", fmt.id());
+        assert_eq!(ctx.events(), want.union(), "{} sticky union", fmt.id());
+    }
+}
+
+/// The deprecated convenience shims (no event reporting) agree with the
+/// event surface the context uses, so pre-`ArithCtx` callers see the
+/// same codes.
+#[test]
+fn deprecated_scalar_shims_agree_with_event_surface() {
+    for fmt in Format8::ALL {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(fmt.mul_scalar(a, b), fmt.mul_scalar_events(a, b).0);
+                assert_eq!(fmt.add_scalar(a, b), fmt.add_scalar_events(a, b).0);
+            }
+        }
+    }
+}
+
+/// `ArithCtx::matmul8` through each tier is bit- and counter-identical
+/// to the deprecated per-tier free functions.
+#[test]
+fn ctx_matmul_matches_deprecated_per_tier_functions() {
+    let (m, k, n) = (5, 7, 6);
+    let a: Vec<u8> = (0..m * k).map(|i| (i * 37 + 11) as u8).collect();
+    let b: Vec<u8> = (0..k * n).map(|i| (i * 91 + 3) as u8).collect();
+    type StatusFn = fn(Format8, &[u8], &[u8], &mut [u8], usize, usize, usize) -> StatusCounters;
+    let old: [(KernelTier, StatusFn); 3] = [
+        (KernelTier::Scalar, matmul8_status_scalar),
+        (KernelTier::Table, matmul8_status_table),
+        (KernelTier::Parallel, matmul8_status_parallel),
+    ];
+    for fmt in Format8::ALL {
+        for (tier, old_fn) in old {
+            let mut want = vec![0u8; m * n];
+            let want_s = old_fn(fmt, &a, &b, &mut want, m, k, n);
+            let mut ctx = ArithCtx::labeled("conform:matmul").with_tier(tier);
+            let mut out = vec![0u8; m * n];
+            let s = ctx.matmul8(fmt, &a, &b, &mut out, m, k, n);
+            assert_eq!(out, want, "{} {tier} codes", fmt.id());
+            assert_eq!(s, want_s, "{} {tier} per-call counters", fmt.id());
+            assert_eq!(*ctx.counters(), want_s, "{} {tier} sticky", fmt.id());
+        }
+    }
+}
+
+/// Every prelude item is nameable and constructible from the single
+/// `use nextgen_arith::prelude::*` at the top of this file.
+#[test]
+fn prelude_walks() {
+    // Context + tier + format + status types.
+    let mut ctx = ArithCtx::new().with_tier(KernelTier::default());
+    assert_eq!(ctx.tier(), KernelTier::Parallel);
+    let _ = ctx.mul(Format8::Posit8, 0x40, 0x40);
+    assert!(ctx.events().is_empty() || ctx.events().contains(Event8::INEXACT));
+    let _: &StatusCounters = ctx.counters();
+
+    // Scalar number systems.
+    assert_eq!(Posit::from_f64(2.0, PositFormat::POSIT8).to_f64(), 2.0);
+    assert_eq!(SoftFloat::from_f64(2.0, FloatFormat::FP8_E4M3).to_f64(), 2.0);
+    let q = Fixed::from_f64(2.0, FixedFormat::Q4_4, RoundingMode::NearestEven).unwrap();
+    assert_eq!(q.to_f64(), 2.0);
+
+    // Observability: the context's scope is visible in a snapshot.
+    let report = obs::snapshot();
+    assert!(
+        report.get("ctx").is_some_and(|c| c.muls >= 1),
+        "prelude ctx scope recorded"
+    );
+}

@@ -133,7 +133,7 @@ fn kernel_tiers_match_oracle_composition_on_boundary_codes() {
             kernel.matmul8(fmt, &codes, &codes, &mut out, n, 1, n);
             for (idx, &got) in out.iter().enumerate() {
                 let (a, b) = (codes[idx / n], codes[idx % n]);
-                let want = fmt.add_scalar(0, fmt.mul_scalar(a, b));
+                let want = fmt.add_scalar_events(0, fmt.mul_scalar_events(a, b).0).0;
                 assert_eq!(got, want, "{fmt:?} {a:#04x}*{b:#04x}");
             }
         }

@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn table_corruption_is_detected_by_checksum() {
         let fmt = Format8::Posit8;
-        let mut table = BinaryTable::build(|a, b| fmt.mul_scalar(a, b));
+        let mut table = BinaryTable::build(|a, b| fmt.mul_scalar_events(a, b).0);
         let mut inj = Injector::new(7, 0);
         let touched = inj.corrupt_table(&mut table, 2_000);
         assert!(touched > 0, "2000 ppm over 512 Kibit must hit something");

@@ -282,8 +282,8 @@ fn run_task(
         TaskSpec::Lut { fmt, rate_ppm } => {
             let mut inj = Injector::new(seed, index);
             let mut gen = SplitMix64::stream(seed, index ^ OP_STREAM);
-            let mut mul = BinaryTable::build(|a, b| fmt.mul_scalar(a, b));
-            let mut add = BinaryTable::build(|a, b| fmt.add_scalar(a, b));
+            let mut mul = BinaryTable::build(|a, b| fmt.mul_scalar_events(a, b).0);
+            let mut add = BinaryTable::build(|a, b| fmt.add_scalar_events(a, b).0);
             let touched =
                 inj.corrupt_table(&mut mul, rate_ppm) + inj.corrupt_table(&mut add, rate_ppm);
             let (m, k, n) = (24usize, 24usize, 24usize);

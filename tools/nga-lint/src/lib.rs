@@ -13,6 +13,9 @@
 //!   equivalence-tested; LUT shapes agree with the format enum.
 //! * **R5 `no-env-time`** — no ambient `std::env`/`std::time` reads
 //!   outside kernel selection and benches.
+//! * **R6 `ctx-single-source`** — `NGA_KERNEL` is read in exactly one
+//!   place (`KernelTier::from_env`); tier selection elsewhere must go
+//!   through `KernelTier`/`ArithCtx::with_tier`.
 //!
 //! Policy lives in `lint.toml`; per-site waivers use
 //! `// lint: allow(<rule>): <reason>` annotations (reason mandatory).
@@ -42,6 +45,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> LintResult {
     let no_panic = cfg.rule(rules::NO_PANIC);
     let no_unsafe = cfg.rule(rules::NO_UNSAFE);
     let env_time = cfg.rule(rules::NO_ENV_TIME);
+    let ctx_single = cfg.rule(rules::CTX_SINGLE_SOURCE);
     let forbid_roots = no_unsafe.list("forbid_attr_crate_roots").to_vec();
     let check_indexing = no_panic.flag("check_indexing", false);
     let indexing_allow = no_panic.list("indexing_allow_paths").to_vec();
@@ -52,8 +56,9 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> LintResult {
         let r2 = no_panic.applies_to(rel);
         let r3 = no_unsafe.applies_to(rel);
         let r5 = env_time.applies_to(rel);
+        let r6 = ctx_single.applies_to(rel);
         let forbid = forbid_roots.iter().any(|p| p == rel);
-        if !(r1 || r2 || r3 || r5 || forbid) {
+        if !(r1 || r2 || r3 || r5 || r6 || forbid) {
             continue;
         }
         let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
@@ -85,6 +90,9 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> LintResult {
         }
         if r5 {
             rules::scan_env_time(&ctx, &mut findings);
+        }
+        if r6 {
+            rules::scan_ctx_single_source(&ctx, &mut findings);
         }
     }
 

@@ -21,6 +21,9 @@ pub const NO_UNSAFE: &str = "no-unsafe";
 pub const KERNEL_CONSISTENCY: &str = "kernel-consistency";
 /// R5: `std::env` / `std::time` reads outside kernel-selection/benches.
 pub const NO_ENV_TIME: &str = "no-env-time";
+/// R6: `"NGA_KERNEL"` mentioned anywhere but the one documented
+/// fallback read (`KernelTier::from_env`).
+pub const CTX_SINGLE_SOURCE: &str = "ctx-single-source";
 /// Malformed or reason-less `// lint:` annotations.
 pub const LINT_ANNOTATION: &str = "lint-annotation";
 
@@ -31,6 +34,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_UNSAFE,
     KERNEL_CONSISTENCY,
     NO_ENV_TIME,
+    CTX_SINGLE_SOURCE,
     LINT_ANNOTATION,
 ];
 
@@ -535,6 +539,28 @@ pub fn scan_env_time(ctx: &FileContext, out: &mut Vec<Finding>) {
                 t.line,
                 true,
                 format!("`{}` (wall-clock) outside kernel-selection/bench code", t.text),
+            );
+        }
+    }
+}
+
+/// R6: flags string literals containing `NGA_KERNEL` — the env var has
+/// exactly one documented read (`KernelTier::from_env`, allowlisted in
+/// lint.toml); everywhere else tier selection must go through
+/// `KernelTier`/`ArithCtx::with_tier`, not a parallel ambient read.
+pub fn scan_ctx_single_source(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for t in &ctx.lexed.toks {
+        if t.kind == TokKind::Str && t.text.contains("NGA_KERNEL") {
+            emit(
+                ctx,
+                out,
+                &mut seen,
+                CTX_SINGLE_SOURCE,
+                t.line,
+                false,
+                "`NGA_KERNEL` outside `KernelTier::from_env` — use `KernelTier`/`ArithCtx::with_tier`"
+                    .to_string(),
             );
         }
     }

@@ -1,0 +1,5 @@
+//! Fixture: a rogue second read of the kernel-selection env var.
+
+pub fn tier() -> String {
+    std::env::var("NGA_KERNEL").unwrap_or_default()
+}

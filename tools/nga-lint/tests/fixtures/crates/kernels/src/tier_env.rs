@@ -1,0 +1,5 @@
+//! Fixture: the allowlisted documented fallback read.
+
+pub fn from_env() -> String {
+    std::env::var("NGA_KERNEL").unwrap_or_default()
+}

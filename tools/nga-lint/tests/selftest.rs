@@ -111,6 +111,14 @@ fn ambient_env_and_time_reads_are_flagged() {
 }
 
 #[test]
+fn second_kernel_env_read_is_flagged_but_the_documented_one_is_not() {
+    // The string literal "NGA_KERNEL" on line 4 of the rogue reader.
+    assert_fires("ctx-single-source", "crates/core/src/tierread.rs", 4);
+    assert_silent("ctx-single-source", "crates/kernels/src/tier_env.rs");
+    assert_silent("no-env-time", "crates/kernels/src/tier_env.rs");
+}
+
+#[test]
 fn unregistered_kernel_is_flagged_at_its_impl_line() {
     // `impl Kernel for RogueKernel` sits on line 17: missing from both the
     // dispatch fn and the equivalence suite.

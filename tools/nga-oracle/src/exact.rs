@@ -84,7 +84,7 @@ impl Exact {
     /// Exact signed sum. Returns `None` on exact cancellation to zero so
     /// the caller can apply its format's signed-zero rule.
     ///
-    /// When the operands' binary ranges span more than [`ADD_WINDOW`]
+    /// When the operands' binary ranges span more than `ADD_WINDOW`
     /// bits, the far-below tail is compressed into the sticky marker; the
     /// result then keeps ≥ `ADD_WINDOW - 8` significant bits above the
     /// marker, so this never disturbs a rounding decision (see module

@@ -640,13 +640,13 @@ pub fn run(opts: &Options) -> Report {
     // ----- 8-bit exhaustive: fixed Q4.4 -----------------------------
     r.push_pairs("exh8/fixed8/add/scalar", 256, 1, &|a, b| {
         (
-            u64::from(Format8::Fixed8.add_scalar(a as u8, b as u8)),
+            u64::from(Format8::Fixed8.add_scalar_events(a as u8, b as u8).0),
             u64::from(fixedpt::add_q44(a as u8, b as u8)),
         )
     });
     r.push_pairs("exh8/fixed8/mul/scalar", 256, 1, &|a, b| {
         (
-            u64::from(Format8::Fixed8.mul_scalar(a as u8, b as u8)),
+            u64::from(Format8::Fixed8.mul_scalar_events(a as u8, b as u8).0),
             u64::from(fixedpt::mul_q44(a as u8, b as u8)),
         )
     });
